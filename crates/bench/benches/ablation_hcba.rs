@@ -1,0 +1,60 @@
+//! E8 — ablation of the **Section III.A heterogeneous-allocation
+//! choices**: recovery weights (the paper's evaluated H-CBA, variant 2)
+//! versus letting the favored core's budget cap grow above MaxL (variant
+//! 1).
+//!
+//! The paper's qualitative claim: the cap variant lets the favored core
+//! issue requests back-to-back, "which is good for this core but creates
+//! some temporal starvation to the others". The ablation measures both
+//! effects: the TuA's longest grant burst and the contenders' worst
+//! grant-to-grant gap.
+
+use cba_bench::{fmt_slowdown, print_row, rule, runs_from_env, seed_from_env};
+use cba_platform::experiments::ablation_hcba;
+
+fn main() {
+    let runs = runs_from_env(15);
+    let seed = seed_from_env();
+    println!("H-CBA ABLATION ({runs} runs per variant, seed {seed})");
+    println!("TuA: 150 back-to-back MaxL (56-cycle) requests; contenders: one MaxL request per 500 cycles\n");
+
+    let rows = ablation_hcba(runs, seed);
+    rule(86);
+    print_row(&[
+        ("variant", 26),
+        ("TuA cycles", 12),
+        ("slowdown", 10),
+        ("TuA max burst", 14),
+        ("contender max gap", 18),
+    ]);
+    rule(86);
+    for r in &rows {
+        print_row(&[
+            (&r.variant, 26),
+            (&format!("{:.0}", r.tua_cycles), 12),
+            (&fmt_slowdown(r.slowdown), 10),
+            (&format!("{:.1}", r.tua_max_burst), 14),
+            (&format!("{:.0}", r.contender_max_gap), 18),
+        ]);
+    }
+    rule(86);
+
+    let base = &rows[0];
+    let weights = &rows[1];
+    let cap = &rows[2];
+    println!();
+    println!("reading:");
+    println!(
+        "  weights speed up the TuA vs base CBA ({} -> {}),",
+        fmt_slowdown(base.slowdown),
+        fmt_slowdown(weights.slowdown)
+    );
+    println!(
+        "  the cap enables bursts (max burst {:.1} -> {:.1}) at the price of",
+        base.tua_max_burst, cap.tua_max_burst
+    );
+    println!(
+        "  contender starvation (max gap {:.0} -> {:.0} cycles) — the paper's trade-off.",
+        base.contender_max_gap, cap.contender_max_gap
+    );
+}

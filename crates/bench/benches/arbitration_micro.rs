@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks of the arbitration-path primitives: policy
+//! selection, credit-filter eligibility/tick, and a full bus cycle. These
+//! quantify the software cost of the "one clock cycle" hardware decision.
+
+use cba::{CreditConfig, CreditFilter};
+use cba_bus::{
+    Bus, BusConfig, BusRequest, Candidate, EligibilityFilter, PendingSet, PolicyKind,
+    RandomSource, RequestKind,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::rng::SimRng;
+use sim_core::CoreId;
+use std::hint::black_box;
+
+fn candidates(n: usize) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| Candidate {
+            core: CoreId::from_index(i),
+            issued_at: 0,
+            duration: 56,
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_select");
+    let cands = candidates(4);
+    for kind in PolicyKind::ALL {
+        let mut policy = kind.build(4, 56);
+        let mut rng = SimRng::seed_from(7);
+        let mut t = 0u64;
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let w = policy.select(black_box(&cands), t, &mut rng as &mut dyn RandomSource);
+                if let Some(core) = w {
+                    policy.on_grant(core, t);
+                }
+                t += 1;
+                black_box(w)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_credit_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("credit_filter");
+    let pending = PendingSet::new(4);
+    let mut filter = CreditFilter::new(CreditConfig::homogeneous(4, 56).unwrap());
+    group.bench_function("tick", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            filter.tick(t, Some(CoreId::from_index(0)), black_box(&pending));
+            t += 1;
+        })
+    });
+    group.bench_function("is_eligible_x4", |b| {
+        b.iter(|| {
+            let mut mask = 0u8;
+            for i in 0..4 {
+                if filter.is_eligible(CoreId::from_index(i), 0) {
+                    mask |= 1 << i;
+                }
+            }
+            black_box(mask)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bus_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus_cycle");
+    for (label, with_cba) in [("rp", false), ("rp_cba", true)] {
+        let mut bus = Bus::new(
+            BusConfig::new(4, 56).unwrap(),
+            PolicyKind::RandomPermutation.build(4, 56),
+        );
+        if with_cba {
+            bus.set_filter(Box::new(CreditFilter::new(
+                CreditConfig::homogeneous(4, 56).unwrap(),
+            )));
+        }
+        let mut now = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                bus.begin_cycle(now);
+                for i in 0..4 {
+                    let core = CoreId::from_index(i);
+                    if !bus.has_pending(core) && bus.owner() != Some(core) {
+                        bus.post(
+                            BusRequest::new(core, 28, RequestKind::Contender, now).unwrap(),
+                        )
+                        .unwrap();
+                    }
+                }
+                black_box(bus.end_cycle(now));
+                now += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_credit_filter, bench_bus_cycle);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E7 — the **conclusion claim**: request-fair arbitration degrades
+//! linearly with the request-length ratio ("virtually unbounded"), while
+//! CBA pins every contender at its 1/N cycle entitlement so the
+//! short-request task's slowdown *saturates* as the ratio grows. (The
+//! saturation level exceeds the paper's idealized N for N > 2 because the
+//! bus is non-preemptive: a full MaxL transaction can park in each of the
+//! TuA's short recovery windows — see EXPERIMENTS.md.)
+//!
+//! A saturating 5-cycle-request task runs against `N-1` saturating
+//! contenders whose request duration sweeps 5..=56, on a round-robin bus
+//! with and without the credit filter, for N in {2, 4, 8}.
+
+use cba_bench::{fmt_slowdown, print_row, rule, runs_from_env, seed_from_env};
+use cba_platform::experiments::fairness_sweep;
+
+fn main() {
+    let runs = runs_from_env(12);
+    let seed = seed_from_env();
+    println!("FAIRNESS SWEEP ({runs} runs per point, seed {seed})");
+    println!("TuA: saturating 5-cycle requests; contenders: saturating d-cycle requests\n");
+
+    let core_counts = [2usize, 4, 8];
+    let durations = [5u32, 11, 28, 56];
+    let rows = fairness_sweep(&core_counts, &durations, runs, seed);
+
+    for &n in &core_counts {
+        println!("N = {n} cores (request-fair grows ~1 + (N-1)d/5; CBA saturates in d):");
+        rule(58);
+        print_row(&[
+            ("contender d", 12),
+            ("RR slowdown", 13),
+            ("RR+CBA slowdown", 16),
+            ("ratio", 8),
+        ]);
+        rule(58);
+        for &d in &durations {
+            let rr = rows
+                .iter()
+                .find(|r| r.n_cores == n && !r.cba && r.contender_duration == d)
+                .expect("row exists");
+            let cba = rows
+                .iter()
+                .find(|r| r.n_cores == n && r.cba && r.contender_duration == d)
+                .expect("row exists");
+            print_row(&[
+                (&format!("{d}"), 12),
+                (&fmt_slowdown(rr.slowdown), 13),
+                (&fmt_slowdown(cba.slowdown), 16),
+                (&format!("{:.2}", rr.slowdown / cba.slowdown), 8),
+            ]);
+        }
+        rule(58);
+        // The headline: going from d=28 to d=56 doubles the request-fair
+        // slowdown but barely moves the CBA one.
+        let get = |cba: bool, d: u32| {
+            rows.iter()
+                .find(|r| r.n_cores == n && r.cba == cba && r.contender_duration == d)
+                .map(|r| r.slowdown)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "  doubling d 28 -> 56 multiplies request-fair by {:.2} but CBA only by {:.2}\n",
+            get(false, 56) / get(false, 28),
+            get(true, 56) / get(true, 28),
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! E1 — regenerates **Figure 1**: normalized average execution times of
+//! the EEMBC suite under {RP, CBA, H-CBA} x {isolation, max contention}.
+//!
+//! Defaults to a reduced run count; set `CBA_RUNS=1000` for the paper's
+//! full campaign size.
+
+use cba_bench::{print_row, rule, runs_from_env, seed_from_env};
+use cba_platform::experiments::{fig1, fig1_digest};
+use cba_workloads::suite;
+
+fn main() {
+    let runs = runs_from_env(120);
+    let seed = seed_from_env();
+    println!("FIGURE 1 — slowdown with and without CBA ({runs} runs per bar, seed {seed})");
+    println!("normalized to each benchmark's RP-ISO mean; paper: Fig. 1\n");
+
+    let cells = fig1(&suite::fig1_suite(), runs, seed);
+
+    rule(72);
+    print_row(&[
+        ("benchmark", 10),
+        ("config", 12),
+        ("mean cycles", 12),
+        ("normalized", 11),
+        ("95% CI", 9),
+    ]);
+    rule(72);
+    for c in &cells {
+        print_row(&[
+            (&c.benchmark, 10),
+            (&format!("{}-{}", c.setup, c.scenario), 12),
+            (&format!("{:.0}", c.mean_cycles), 12),
+            (&format!("{:.3}", c.normalized), 11),
+            (&format!("±{:.3}", c.ci95), 9),
+        ]);
+    }
+    rule(72);
+
+    let digest = fig1_digest(&cells);
+    println!();
+    println!("digest vs paper (Section IV.B):");
+    println!(
+        "  worst CON slowdown without CBA : {:.2}x on {:<8} (paper: 3.34x on matrix)",
+        digest.worst_rp_con.1, digest.worst_rp_con.0
+    );
+    println!(
+        "  worst CON slowdown with CBA    : {:.2}x on {:<8} (paper: 2.34x)",
+        digest.worst_cba_con.1, digest.worst_cba_con.0
+    );
+    println!(
+        "  CBA isolation overhead (mean)  : {:+.1}%          (paper: ~3%)",
+        100.0 * digest.cba_iso_overhead
+    );
+    println!(
+        "  H-CBA isolation overhead (mean): {:+.1}%          (paper: negligible)",
+        100.0 * digest.hcba_iso_overhead
+    );
+    let all_below_4 = cells.iter().all(|c| c.normalized < 4.0);
+    println!(
+        "  all slowdowns below 4x         : {all_below_4}           (paper: \"slowdowns are below 4x\")"
+    );
+}

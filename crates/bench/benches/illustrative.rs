@@ -1,0 +1,67 @@
+//! E3 — regenerates the **Section II illustrative example**: a task with
+//! 1,000 six-cycle requests (10,000 cycles in isolation) against three
+//! streaming co-runners with 28-cycle requests.
+//!
+//! The paper's arithmetic: request-fair arbitration yields
+//! `(10,000 - 6,000) + 1,000 x (6 + 84) = 94,000` cycles (9.4x); idealized
+//! cycle-fair sharing yields `(10,000 - 6,000) + 1,000 x (6 + 18) =
+//! 28,000` (2.8x). The simulation shows where the implementable mechanism
+//! lands: CBA cannot reach the idealized 2.8x because the bus is
+//! non-preemptive (a 28-cycle streamer transaction can always park in the
+//! TuA's 18-cycle recovery window), but it stays bounded near the core
+//! count while request-fair policies do not.
+
+use cba_bench::{fmt_slowdown, print_row, rule, runs_from_env, seed_from_env};
+use cba_platform::experiments::{illustrative, IllustrativeAnalytic};
+
+fn main() {
+    let runs = runs_from_env(40);
+    let seed = seed_from_env();
+    let analytic = IllustrativeAnalytic::paper();
+    println!("SECTION II ILLUSTRATIVE EXAMPLE ({runs} runs per config, seed {seed})");
+    println!("TuA: 1,000 requests x 6 cycles, 4-cycle gaps (isolation: 10,000 cycles)");
+    println!("co-runners: 3 streamers, 28-cycle requests, always pending\n");
+
+    println!("paper's analytic references:");
+    println!(
+        "  request-fair: {:.0} cycles ({})",
+        analytic.request_fair,
+        fmt_slowdown(analytic.request_fair / analytic.isolation)
+    );
+    println!(
+        "  idealized cycle-fair: {:.0} cycles ({})",
+        analytic.cycle_fair,
+        fmt_slowdown(analytic.cycle_fair / analytic.isolation)
+    );
+    println!();
+
+    let rows = illustrative(runs, seed);
+    rule(56);
+    print_row(&[("configuration", 24), ("mean cycles", 14), ("slowdown", 10)]);
+    rule(56);
+    for r in &rows {
+        print_row(&[
+            (&r.config, 24),
+            (&format!("{:.0}", r.mean_cycles), 14),
+            (&fmt_slowdown(r.slowdown), 10),
+        ]);
+    }
+    rule(56);
+
+    let request_fair_worst = rows
+        .iter()
+        .filter(|r| r.config.contains("request-fair"))
+        .map(|r| r.slowdown)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cba = rows
+        .iter()
+        .find(|r| r.config.contains("CBA (cycle-fair)"))
+        .expect("CBA row present");
+    println!();
+    println!(
+        "request-fair worst {} vs CBA {} — CBA improves by {:.2}x (paper's analytic: 3.36x)",
+        fmt_slowdown(request_fair_worst),
+        fmt_slowdown(cba.slowdown),
+        request_fair_worst / cba.slowdown
+    );
+}

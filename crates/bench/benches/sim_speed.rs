@@ -1,0 +1,35 @@
+//! Criterion benchmark of end-to-end simulation throughput: full-platform
+//! runs (4 cores + caches + bus + credit filter), reported per run so the
+//! cost of Monte-Carlo campaigns can be budgeted.
+
+use cba_platform::{run_once, BusSetup, CoreLoad, RunSpec, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_run_once(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_once");
+    group.sample_size(20);
+    for (label, setup) in [("rp", BusSetup::Rp), ("cba", BusSetup::Cba)] {
+        for (scen_label, scenario) in [
+            ("iso", Scenario::Isolation),
+            ("con", Scenario::MaxContention),
+        ] {
+            let spec = RunSpec::paper(
+                setup.clone(),
+                scenario.clone(),
+                CoreLoad::named("canrdr"),
+            );
+            let mut seed = 0u64;
+            group.bench_function(format!("canrdr_{label}_{scen_label}"), |b| {
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_once(&spec, seed))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_once);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Extension of Figure 1 to the whole synthetic Autobench catalog (the
+//! paper evaluates four benchmarks; the other four validate that the
+//! orderings generalize across traffic shapes, including the
+//! ifetch-heavy, store-dominated and genuinely memory-bound members).
+
+use cba_bench::{print_row, rule, runs_from_env, seed_from_env};
+use cba_platform::experiments::{fig1, fig1_digest};
+use cba_workloads::suite;
+
+fn main() {
+    let runs = runs_from_env(40);
+    let seed = seed_from_env();
+    println!("SUITE-WIDE FIGURE 1 ({runs} runs per bar, seed {seed}) — all 8 catalog benchmarks\n");
+
+    let cells = fig1(&suite::all_profiles(), runs, seed);
+    rule(76);
+    print_row(&[
+        ("benchmark", 10),
+        ("RP-CON", 8),
+        ("CBA-ISO", 9),
+        ("CBA-CON", 9),
+        ("H-CBA-CON", 10),
+        ("CBA gain", 9),
+    ]);
+    rule(76);
+    for profile in suite::all_profiles() {
+        let get = |setup: &str, scen: &str| {
+            cells
+                .iter()
+                .find(|c| c.benchmark == profile.name && c.setup == setup && c.scenario == scen)
+                .map(|c| c.normalized)
+                .unwrap_or(f64::NAN)
+        };
+        print_row(&[
+            (profile.name, 10),
+            (&format!("{:.2}", get("RP", "CON")), 8),
+            (&format!("{:.3}", get("CBA", "ISO")), 9),
+            (&format!("{:.2}", get("CBA", "CON")), 9),
+            (&format!("{:.2}", get("H-CBA", "CON")), 10),
+            (&format!("{:.2}x", get("RP", "CON") / get("CBA", "CON")), 9),
+        ]);
+    }
+    rule(76);
+
+    let digest = fig1_digest(&cells);
+    println!();
+    println!(
+        "suite-wide worst RP-CON: {:.2}x on {}; worst CBA-CON: {:.2}x on {}",
+        digest.worst_rp_con.1, digest.worst_rp_con.0, digest.worst_cba_con.1, digest.worst_cba_con.0
+    );
+    println!(
+        "CBA reduces the CON slowdown for every benchmark: {}",
+        suite::all_profiles().iter().all(|p| {
+            let find = |setup: &str| {
+                cells
+                    .iter()
+                    .find(|c| c.benchmark == p.name && c.setup == setup && c.scenario == "CON")
+                    .map(|c| c.normalized)
+                    .unwrap_or(f64::NAN)
+            };
+            find("CBA") <= find("RP") * 1.02
+        })
+    );
+}

@@ -1,0 +1,27 @@
+//! E2 — regenerates **Table I**: the arbiter's signal summary, generated
+//! directly from the implementation's configuration (so the table can
+//! never drift from the code). Prints the paper's homogeneous 4-core
+//! configuration plus the H-CBA variant.
+
+use cba::{CreditConfig, SignalTable};
+
+fn main() {
+    let base = CreditConfig::homogeneous(4, 56).expect("paper constants");
+    println!("{}", SignalTable::new(&base));
+
+    println!();
+    println!("H-CBA variant (TuA recovers 1/2 per cycle, contenders 1/6):");
+    println!();
+    let hcba = CreditConfig::paper_hcba(56).expect("paper constants");
+    println!("{}", SignalTable::new(&hcba));
+
+    println!("counter width: {} bits (paper: \"8-bit budget counter\")", base.counter_bits());
+    println!(
+        "eligibility threshold: {} scaled units = MaxL x den = 56 x 4",
+        base.scaled_threshold()
+    );
+    println!(
+        "recovery after a MaxL transaction: {} cycles ((N-1) x MaxL)",
+        base.recovery_cycles(sim_core::CoreId::from_index(0), 56)
+    );
+}

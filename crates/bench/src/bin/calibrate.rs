@@ -1,0 +1,52 @@
+//! Workload calibration probe: per-benchmark ISO characteristics and the
+//! Figure-1 cells at a reduced run count. Used while tuning the synthetic
+//! EEMBC profiles; kept as a diagnostic tool.
+
+use cba_bench::{runs_from_env, seed_from_env};
+use cba_platform::experiments::fig1;
+use cba_platform::{run_once, BusSetup, CoreLoad, RunSpec, Scenario};
+use cba_workloads::suite;
+
+fn main() {
+    let runs = runs_from_env(30);
+    let seed = seed_from_env();
+    println!("== ISO characteristics (single run, seed {seed}) ==");
+    println!(
+        "{:<10} {:>9} {:>7} {:>7} {:>8} {:>8}",
+        "bench", "cycles", "util%", "reqs", "per-req", "avg-dur"
+    );
+    for profile in suite::all_profiles() {
+        let spec = RunSpec::paper(
+            BusSetup::Rp,
+            Scenario::Isolation,
+            CoreLoad::Profile(profile.clone()),
+        );
+        let r = run_once(&spec, seed);
+        let cycles = r.tua_cycles.unwrap_or(0);
+        let reqs = r.bus_slots[0];
+        let busy = r.bus_busy[0];
+        println!(
+            "{:<10} {:>9} {:>6.1}% {:>7} {:>8.1} {:>8.1}",
+            profile.name,
+            cycles,
+            100.0 * busy as f64 / cycles.max(1) as f64,
+            reqs,
+            cycles as f64 / reqs.max(1) as f64,
+            busy as f64 / reqs.max(1) as f64,
+        );
+    }
+
+    println!();
+    println!("== Figure 1 cells ({runs} runs/bar) ==");
+    let cells = fig1(&suite::fig1_suite(), runs, seed);
+    println!(
+        "{:<10} {:<7} {:<5} {:>12} {:>8}",
+        "bench", "setup", "scen", "mean-cycles", "norm"
+    );
+    for c in &cells {
+        println!(
+            "{:<10} {:<7} {:<5} {:>12.0} {:>8.3}",
+            c.benchmark, c.setup, c.scenario, c.mean_cycles, c.normalized
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! `cba-sim` — a small CLI for running custom platform scenarios without
+//! writing Rust.
+//!
+//! ```text
+//! cba_sim [--policy fifo|rr|tdma|lot|rp|pri] [--cba none|homog|hcba|w:a,b,c,d]
+//!         [--bench NAME | --loads SPEC] [--scenario iso|con] [--wcet]
+//!         [--runs N] [--seed S] [--cores N]
+//!
+//! load SPEC: comma-separated per-core entries:
+//!     bench:NAME             catalog benchmark through the core model
+//!     fixed:REQS:DUR:GAP     fixed-request task
+//!     sat:DUR                saturating contender
+//!     per:DUR:PERIOD:PHASE   periodic contender
+//!     stream:ACCESSES        streaming loads
+//!     idle
+//!
+//! examples:
+//!     cba_sim --bench matrix --scenario con --cba homog --runs 100
+//!     cba_sim --loads fixed:1000:6:4,sat:28,sat:28,sat:28 --policy rr
+//! ```
+
+use cba::CreditConfig;
+use cba_bus::PolicyKind;
+use cba_platform::{BusSetup, Campaign, CoreLoad, PlatformConfig, RunSpec, Scenario};
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}\n");
+    eprintln!("usage: cba_sim [--policy fifo|rr|tdma|lot|rp|pri] [--cba none|homog|hcba|w:a,b,..]");
+    eprintln!("               [--bench NAME | --loads SPEC] [--scenario iso|con] [--wcet]");
+    eprintln!("               [--runs N] [--seed S] [--cores N]");
+    eprintln!("load SPEC entries: bench:NAME fixed:R:D:G sat:D per:D:P:PH stream:A idle");
+    std::process::exit(2)
+}
+
+fn parse_policy(s: &str) -> PolicyKind {
+    match s {
+        "fifo" => PolicyKind::Fifo,
+        "rr" => PolicyKind::RoundRobin,
+        "tdma" => PolicyKind::Tdma,
+        "lot" => PolicyKind::Lottery,
+        "rp" => PolicyKind::RandomPermutation,
+        "pri" => PolicyKind::FixedPriority,
+        other => usage(&format!("unknown policy '{other}'")),
+    }
+}
+
+fn parse_load(s: &str) -> CoreLoad {
+    let parts: Vec<&str> = s.split(':').collect();
+    let num = |p: &str| -> u64 {
+        p.parse()
+            .unwrap_or_else(|_| usage(&format!("bad number '{p}' in load '{s}'")))
+    };
+    match parts.as_slice() {
+        ["idle"] => CoreLoad::Idle,
+        ["bench", name] => CoreLoad::named(name),
+        ["fixed", r, d, g] => CoreLoad::FixedTask {
+            n_requests: num(r),
+            duration: num(d) as u32,
+            gap: num(g) as u32,
+        },
+        ["sat", d] => CoreLoad::Saturating {
+            duration: num(d) as u32,
+        },
+        ["per", d, p, ph] => CoreLoad::Periodic {
+            duration: num(d) as u32,
+            period: num(p),
+            phase: num(ph),
+        },
+        ["stream", a] => CoreLoad::Streaming { accesses: num(a) },
+        _ => usage(&format!("unknown load spec '{s}'")),
+    }
+}
+
+fn parse_cba(s: &str, n_cores: usize, maxl: u32) -> Option<CreditConfig> {
+    match s {
+        "none" => None,
+        "homog" => Some(CreditConfig::homogeneous(n_cores, maxl).expect("valid")),
+        "hcba" => Some(CreditConfig::paper_hcba(maxl).unwrap_or_else(|e| usage(&e.to_string()))),
+        other => {
+            let Some(weights) = other.strip_prefix("w:") else {
+                usage(&format!("unknown cba mode '{other}'"));
+            };
+            let nums: Vec<u32> = weights
+                .split(',')
+                .map(|w| w.parse().unwrap_or_else(|_| usage("bad weight")))
+                .collect();
+            let den = nums.iter().sum();
+            Some(
+                CreditConfig::weighted(maxl, nums, den)
+                    .unwrap_or_else(|e| usage(&e.to_string())),
+            )
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut policy = "rp".to_string();
+    let mut cba = "none".to_string();
+    let mut bench: Option<String> = None;
+    let mut loads: Option<String> = None;
+    let mut scenario = "con".to_string();
+    let mut wcet = false;
+    let mut runs = 30usize;
+    let mut seed = 2017u64;
+    let mut cores = 4usize;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--policy" => policy = val("--policy"),
+            "--cba" => cba = val("--cba"),
+            "--bench" => bench = Some(val("--bench")),
+            "--loads" => loads = Some(val("--loads")),
+            "--scenario" => scenario = val("--scenario"),
+            "--wcet" => wcet = true,
+            "--runs" => runs = val("--runs").parse().unwrap_or_else(|_| usage("bad --runs")),
+            "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--cores" => cores = val("--cores").parse().unwrap_or_else(|_| usage("bad --cores")),
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+
+    let setup = BusSetup::Custom {
+        policy: parse_policy(&policy),
+        cba: parse_cba(&cba, cores, 56),
+    };
+    let mut platform = PlatformConfig::paper_n_cores(&setup, cores);
+    platform.policy = parse_policy(&policy);
+
+    let mut spec = match (&bench, &loads) {
+        (Some(_), Some(_)) => usage("--bench and --loads are mutually exclusive"),
+        (Some(name), None) => {
+            let scen = match scenario.as_str() {
+                "iso" => Scenario::Isolation,
+                "con" => Scenario::MaxContention,
+                other => usage(&format!("unknown scenario '{other}'")),
+            };
+            RunSpec::with_platform(platform, scen, CoreLoad::named(name))
+        }
+        (None, Some(spec_str)) => {
+            let all: Vec<CoreLoad> = spec_str.split(',').map(parse_load).collect();
+            if all.is_empty() {
+                usage("--loads needs at least one entry");
+            }
+            let tua = all[0].clone();
+            let rest = all[1..].to_vec();
+            RunSpec::with_platform(platform, Scenario::Custom(rest), tua)
+        }
+        (None, None) => usage("one of --bench or --loads is required"),
+    };
+    spec.wcet_mode = wcet;
+    if let Err(e) = spec.validate() {
+        usage(&e);
+    }
+
+    eprintln!(
+        "cba-sim: {} cores, policy {}, filter {}, {} runs, seed {seed}",
+        spec.platform.n_cores,
+        spec.platform.policy.name(),
+        spec.platform
+            .cba
+            .as_ref()
+            .map(|c| c.scheme_name())
+            .unwrap_or("none"),
+        runs
+    );
+    let result = Campaign::new(spec, runs, seed).run();
+    let s = result.summary();
+    println!("runs       : {}", s.count());
+    println!("mean       : {:.1} cycles (±{:.1} at 95%)", s.mean(), s.ci95_half_width());
+    println!("min / max  : {:.0} / {:.0}", s.min(), s.max());
+    println!("p50        : {:.0}", result.percentile(0.50));
+    println!("p95        : {:.0}", result.percentile(0.95));
+    println!("p99        : {:.0}", result.percentile(0.99));
+    if result.unfinished() > 0 {
+        println!("unfinished : {} runs hit the cycle limit", result.unfinished());
+    }
+    // Bus-side view of the first run.
+    let first = &result.results()[0];
+    println!(
+        "bus (run 0): utilization {:.1}%, TuA mean wait {:.1} cycles, max wait {}",
+        100.0 * first.utilization(),
+        first.tua_mean_wait,
+        first.tua_max_wait
+    );
+}

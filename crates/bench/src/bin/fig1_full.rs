@@ -1,0 +1,34 @@
+//! Full-scale Figure-1 reproduction: the paper's 1,000 randomized runs per
+//! bar (override with `CBA_RUNS`). Expect minutes of wall time; the
+//! reduced-scale regenerator is `cargo bench -p cba-bench --bench fig1`.
+
+use cba_bench::{runs_from_env, seed_from_env};
+use cba_platform::experiments::{fig1, fig1_digest};
+use cba_workloads::suite;
+
+fn main() {
+    let runs = runs_from_env(1000);
+    let seed = seed_from_env();
+    eprintln!("running Figure 1 at full scale: {runs} runs x 24 bars ...");
+    let start = std::time::Instant::now();
+    let cells = fig1(&suite::fig1_suite(), runs, seed);
+    eprintln!("done in {:.1?}", start.elapsed());
+
+    println!("benchmark,setup,scenario,mean_cycles,normalized,ci95");
+    for c in &cells {
+        println!(
+            "{},{},{},{:.1},{:.4},{:.4}",
+            c.benchmark, c.setup, c.scenario, c.mean_cycles, c.normalized, c.ci95
+        );
+    }
+    let digest = fig1_digest(&cells);
+    eprintln!(
+        "worst RP-CON {:.2}x on {} (paper 3.34x on matrix); worst CBA-CON {:.2}x on {} (paper 2.34x)",
+        digest.worst_rp_con.1, digest.worst_rp_con.0, digest.worst_cba_con.1, digest.worst_cba_con.0
+    );
+    eprintln!(
+        "CBA ISO overhead {:+.2}% (paper ~3%); H-CBA ISO overhead {:+.2}% (paper negligible)",
+        100.0 * digest.cba_iso_overhead,
+        100.0 * digest.hcba_iso_overhead
+    );
+}

@@ -1,0 +1,74 @@
+//! Shared harness utilities for the table/figure regenerators.
+//!
+//! Each `benches/*.rs` target (all `harness = false`) regenerates one
+//! artifact of the paper — see `DESIGN.md`'s experiment index. The targets
+//! accept two environment variables so the same binaries serve quick CI
+//! passes and full reproductions:
+//!
+//! * `CBA_RUNS` — randomized runs per configuration (default: a reduced
+//!   count per target; the paper uses 1,000);
+//! * `CBA_SEED` — master seed (default 2017, the paper's year).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Reads the run-count override (`CBA_RUNS`), falling back to `default`.
+pub fn runs_from_env(default: usize) -> usize {
+    std::env::var("CBA_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Reads the master seed (`CBA_SEED`), defaulting to 2017.
+pub fn seed_from_env() -> u64 {
+    std::env::var("CBA_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2017)
+}
+
+/// Prints a horizontal rule sized for the standard table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a slowdown with two decimals and an `x` suffix.
+pub fn fmt_slowdown(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// A minimal fixed-width row printer: right-pads each cell to its column
+/// width.
+pub fn print_row(cells: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (text, width) in cells {
+        let mut cell = text.to_string();
+        if cell.len() < *width {
+            cell.push_str(&" ".repeat(width - cell.len()));
+        }
+        line.push_str(&cell);
+        line.push(' ');
+    }
+    println!("{}", line.trim_end());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        std::env::remove_var("CBA_RUNS");
+        std::env::remove_var("CBA_SEED");
+        assert_eq!(runs_from_env(25), 25);
+        assert_eq!(seed_from_env(), 2017);
+    }
+
+    #[test]
+    fn fmt_slowdown_formats() {
+        assert_eq!(fmt_slowdown(3.344), "3.34x");
+        assert_eq!(fmt_slowdown(1.0), "1.00x");
+    }
+}

@@ -1,0 +1,266 @@
+//! Non-split shared-bus model with pluggable arbitration.
+//!
+//! This crate models the interconnect of the paper's platform: an AMBA-style
+//! **non-split bus** connecting `N` cores to a shared (partitioned) L2 cache
+//! and the memory controller. A granted transaction holds the bus for its
+//! full duration (5..=56 cycles on the reference platform) — requests are
+//! never split, which is exactly why *slot* fairness and *cycle* fairness
+//! diverge and why the paper's credit-based arbitration (CBA) exists.
+//!
+//! The crate provides:
+//!
+//! * [`BusRequest`] / [`RequestKind`] — one pending bus transaction per core;
+//! * [`ArbitrationPolicy`] — the arbiter interface, with the five baseline
+//!   policies discussed in the paper's Section II ([`policies`]):
+//!   FIFO, round-robin, TDMA, lottery, random permutations, plus fixed
+//!   priority (included to demonstrate the starvation problem that rules it
+//!   out for real-time use);
+//! * [`EligibilityFilter`] — the hook CBA plugs into: a filter that decides,
+//!   each cycle, which pending requests are *arbitrable*. The bus asks the
+//!   filter first and only then runs the arbitration policy, mirroring the
+//!   paper's description of CBA as "a filter to determine the pending
+//!   requests that are eligible to be arbitrated";
+//! * [`Bus`] — the cycle-accurate bus itself, with grant tracing and
+//!   per-core wait statistics.
+//!
+//! # Example: slot fairness is not bandwidth fairness
+//!
+//! ```
+//! use cba_bus::{Bus, BusConfig, BusRequest, RequestKind, policies::RoundRobin};
+//! use sim_core::CoreId;
+//!
+//! let config = BusConfig::new(2, 56).unwrap();
+//! let mut bus = Bus::new(config, Box::new(RoundRobin::new(2)));
+//! let c0 = CoreId::from_index(0);
+//! let c1 = CoreId::from_index(1);
+//!
+//! // Core 0 issues 5-cycle requests, core 1 issues 45-cycle requests,
+//! // both saturating. Round-robin grants them alternately.
+//! for now in 0..5_000u64 {
+//!     if !bus.has_pending(c0) && bus.owner() != Some(c0) {
+//!         bus.post(BusRequest::new(c0, 5, RequestKind::L2ReadHit, now).unwrap()).unwrap();
+//!     }
+//!     if !bus.has_pending(c1) && bus.owner() != Some(c1) {
+//!         bus.post(BusRequest::new(c1, 45, RequestKind::L2MissClean, now).unwrap()).unwrap();
+//!     }
+//!     bus.tick(now);
+//! }
+//! let report = bus.trace().share_report();
+//! // Equal slots...
+//! assert!((report.slot_share(c0) - 0.5).abs() < 0.02);
+//! // ...but core 1 hogs the bandwidth: the paper's 10%/90% observation.
+//! assert!(report.cycle_share(c0) < 0.12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod pending;
+pub mod policies;
+pub mod policy;
+pub mod split;
+
+pub use bus::{Bus, BusConfig, BusState, CompletedTransaction, TickOutcome, WaitStats};
+pub use pending::{Candidate, PendingSet};
+pub use policy::{ArbitrationPolicy, EligibilityFilter, NoFilter, PolicyKind, RandomSource};
+
+use sim_core::{CoreId, Cycle};
+use std::fmt;
+
+/// Classification of a bus transaction, used for tracing and statistics.
+///
+/// The durations associated with each kind on the reference platform are
+/// defined by the memory model (`cba-mem`); the bus itself only cares about
+/// the duration carried by the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Read that hits in the shared L2 (shortest transaction, 5 cycles).
+    L2ReadHit,
+    /// Write-through store reaching L2 (6 cycles).
+    L2Write,
+    /// L2 miss with a clean victim: one memory access (28 cycles).
+    L2MissClean,
+    /// L2 miss evicting a dirty line: write-back + fetch (56 cycles).
+    L2MissDirty,
+    /// Atomic read-modify-write: two memory accesses, unsplittable
+    /// (56 cycles). The paper highlights atomics as the reason very long and
+    /// very short requests coexist even on buses with split transactions.
+    Atomic,
+    /// A WCET-estimation-mode contender transaction (always MaxL cycles).
+    Contender,
+    /// Synthetic workload transaction (used by the illustrative example and
+    /// fairness sweeps).
+    Synthetic,
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RequestKind::L2ReadHit => "l2-read-hit",
+            RequestKind::L2Write => "l2-write",
+            RequestKind::L2MissClean => "l2-miss-clean",
+            RequestKind::L2MissDirty => "l2-miss-dirty",
+            RequestKind::Atomic => "atomic",
+            RequestKind::Contender => "contender",
+            RequestKind::Synthetic => "synthetic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One bus transaction request: a core asking to hold the bus for
+/// `duration` cycles.
+///
+/// Durations are validated against 1..= [`BusRequest::MAX_DURATION`] at
+/// construction and against the platform's `max_latency` when posted to a
+/// [`Bus`]. A request whose duration could exceed the platform MaxL would
+/// break the credit-arbitration invariants, so this is enforced, not
+/// assumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusRequest {
+    core: CoreId,
+    duration: u32,
+    kind: RequestKind,
+    issued_at: Cycle,
+}
+
+impl BusRequest {
+    /// Upper bound on any transaction duration accepted by the model.
+    pub const MAX_DURATION: u32 = 4096;
+
+    /// Creates a request by `core` to hold the bus for `duration` cycles,
+    /// issued (became ready) at cycle `issued_at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::DurationOutOfRange`] unless
+    /// `1 <= duration <= MAX_DURATION`.
+    pub fn new(
+        core: CoreId,
+        duration: u32,
+        kind: RequestKind,
+        issued_at: Cycle,
+    ) -> Result<Self, BusError> {
+        if duration == 0 || duration > Self::MAX_DURATION {
+            return Err(BusError::DurationOutOfRange {
+                got: duration,
+                max: Self::MAX_DURATION,
+            });
+        }
+        Ok(BusRequest {
+            core,
+            duration,
+            kind,
+            issued_at,
+        })
+    }
+
+    /// The requesting core.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Bus hold time in cycles.
+    pub fn duration(&self) -> u32 {
+        self.duration
+    }
+
+    /// Transaction classification.
+    pub fn kind(&self) -> RequestKind {
+        self.kind
+    }
+
+    /// Cycle at which the request became ready.
+    pub fn issued_at(&self) -> Cycle {
+        self.issued_at
+    }
+}
+
+/// Errors reported by the bus model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// A request's duration was zero or above the accepted maximum.
+    DurationOutOfRange {
+        /// Rejected duration.
+        got: u32,
+        /// Largest accepted duration.
+        max: u32,
+    },
+    /// The core already has a pending (not yet granted) request; cores are
+    /// in-order and blocking, so a second outstanding request is a caller
+    /// bug.
+    AlreadyPending(CoreId),
+    /// The request names a core outside the platform.
+    UnknownCore(CoreId),
+    /// The configuration was rejected (core count or MaxL out of domain).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::DurationOutOfRange { got, max } => {
+                write!(f, "request duration {got} outside 1..={max}")
+            }
+            BusError::AlreadyPending(core) => {
+                write!(f, "{core} already has a pending bus request")
+            }
+            BusError::UnknownCore(core) => write!(f, "{core} is not part of this platform"),
+            BusError::InvalidConfig(why) => write!(f, "invalid bus configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_validates_duration() {
+        let c = CoreId::from_index(0);
+        assert!(matches!(
+            BusRequest::new(c, 0, RequestKind::L2ReadHit, 0),
+            Err(BusError::DurationOutOfRange { got: 0, .. })
+        ));
+        assert!(BusRequest::new(c, 1, RequestKind::L2ReadHit, 0).is_ok());
+        assert!(BusRequest::new(c, BusRequest::MAX_DURATION, RequestKind::Atomic, 0).is_ok());
+        assert!(BusRequest::new(c, BusRequest::MAX_DURATION + 1, RequestKind::Atomic, 0).is_err());
+    }
+
+    #[test]
+    fn request_accessors() {
+        let c = CoreId::from_index(2);
+        let r = BusRequest::new(c, 28, RequestKind::L2MissClean, 17).unwrap();
+        assert_eq!(r.core(), c);
+        assert_eq!(r.duration(), 28);
+        assert_eq!(r.kind(), RequestKind::L2MissClean);
+        assert_eq!(r.issued_at(), 17);
+    }
+
+    #[test]
+    fn kinds_display_distinctly() {
+        use std::collections::HashSet;
+        let kinds = [
+            RequestKind::L2ReadHit,
+            RequestKind::L2Write,
+            RequestKind::L2MissClean,
+            RequestKind::L2MissDirty,
+            RequestKind::Atomic,
+            RequestKind::Contender,
+            RequestKind::Synthetic,
+        ];
+        let names: HashSet<String> = kinds.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = BusError::AlreadyPending(CoreId::from_index(1));
+        assert!(e.to_string().contains("core1"));
+        let e = BusError::DurationOutOfRange { got: 0, max: 56 };
+        assert!(e.to_string().contains("0"));
+    }
+}

@@ -1,0 +1,139 @@
+//! TDMA (time-division multiple access) arbitration.
+
+use crate::pending::Candidate;
+use crate::policy::{ArbitrationPolicy, RandomSource};
+use sim_core::{CoreId, Cycle};
+
+/// TDMA arbitration with homogeneous slots.
+///
+/// Time is split into fixed slots of `slot_len` cycles (the paper sizes
+/// slots to MaxL, the longest possible request, because a request's duration
+/// is unknown when it is issued). Core `i` owns every `(t / slot_len) % N ==
+/// i` slot and a request is granted **only during the first cycle of its
+/// owner's slot** — otherwise an unknown-duration request could overrun into
+/// the next core's slot and wreck its WCET guarantee.
+///
+/// The price is idle bandwidth: a 5-cycle request granted in a 56-cycle slot
+/// leaves the bus idle for 51 cycles. TDMA is the only built-in policy that
+/// is not work-conserving.
+#[derive(Debug, Clone)]
+pub struct Tdma {
+    n_cores: usize,
+    slot_len: u32,
+}
+
+impl Tdma {
+    /// Creates a TDMA arbiter with `n_cores` homogeneous slots of
+    /// `slot_len` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores == 0` or `slot_len == 0`.
+    pub fn new(n_cores: usize, slot_len: u32) -> Self {
+        assert!(n_cores > 0, "n_cores must be positive");
+        assert!(slot_len > 0, "slot_len must be positive");
+        Tdma { n_cores, slot_len }
+    }
+
+    /// The slot length in cycles.
+    pub fn slot_len(&self) -> u32 {
+        self.slot_len
+    }
+
+    /// The core owning the slot that contains cycle `now`.
+    pub fn slot_owner(&self, now: Cycle) -> CoreId {
+        let slot = now / self.slot_len as Cycle;
+        CoreId::from_index((slot % self.n_cores as Cycle) as usize)
+    }
+
+    /// Whether `now` is the first cycle of a slot (the only grant point).
+    pub fn is_slot_start(&self, now: Cycle) -> bool {
+        now % self.slot_len as Cycle == 0
+    }
+}
+
+impl ArbitrationPolicy for Tdma {
+    fn name(&self) -> &'static str {
+        "TDMA"
+    }
+
+    fn select(
+        &mut self,
+        candidates: &[Candidate],
+        now: Cycle,
+        _rng: &mut dyn RandomSource,
+    ) -> Option<CoreId> {
+        if !self.is_slot_start(now) {
+            return None;
+        }
+        let owner = self.slot_owner(now);
+        candidates.iter().find(|c| c.core == owner).map(|c| c.core)
+    }
+
+    fn is_work_conserving(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::rng::SimRng;
+
+    fn cands(cores: &[usize]) -> Vec<Candidate> {
+        cores
+            .iter()
+            .map(|&i| Candidate {
+                core: CoreId::from_index(i),
+                issued_at: 0,
+                duration: 5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slot_ownership_rotates() {
+        let t = Tdma::new(4, 56);
+        assert_eq!(t.slot_owner(0).index(), 0);
+        assert_eq!(t.slot_owner(55).index(), 0);
+        assert_eq!(t.slot_owner(56).index(), 1);
+        assert_eq!(t.slot_owner(56 * 4).index(), 0);
+    }
+
+    #[test]
+    fn grants_only_at_slot_start() {
+        let mut t = Tdma::new(4, 56);
+        let mut rng = SimRng::seed_from(0);
+        let all = cands(&[0, 1, 2, 3]);
+        assert_eq!(t.select(&all, 0, &mut rng).unwrap().index(), 0);
+        for now in 1..56 {
+            assert_eq!(t.select(&all, now, &mut rng), None, "granted at {now}");
+        }
+        assert_eq!(t.select(&all, 56, &mut rng).unwrap().index(), 1);
+    }
+
+    #[test]
+    fn empty_slot_stays_idle_even_with_other_waiters() {
+        // Non-work-conserving: if the slot owner has no request, the bus
+        // idles even though other cores wait.
+        let mut t = Tdma::new(4, 56);
+        let mut rng = SimRng::seed_from(0);
+        let others = cands(&[1, 2, 3]);
+        assert_eq!(t.select(&others, 0, &mut rng), None);
+        assert_eq!(t.select(&others, 56, &mut rng).unwrap().index(), 1);
+    }
+
+    #[test]
+    fn reports_not_work_conserving() {
+        assert!(!Tdma::new(4, 56).is_work_conserving());
+    }
+
+    #[test]
+    fn slot_start_detection() {
+        let t = Tdma::new(2, 10);
+        assert!(t.is_slot_start(0));
+        assert!(t.is_slot_start(10));
+        assert!(!t.is_slot_start(5));
+        assert!(!t.is_slot_start(11));
+    }
+}

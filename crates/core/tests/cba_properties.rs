@@ -1,0 +1,146 @@
+//! Property-based tests of the credit mechanism wired to a real bus:
+//! entitlement enforcement and starvation freedom under randomized
+//! configurations and workloads.
+
+use cba::{CreditConfig, CreditFilter, Mode};
+use cba_bus::{Bus, BusConfig, BusRequest, PolicyKind, RequestKind};
+use proptest::prelude::*;
+use sim_core::CoreId;
+
+/// Random weighted credit configuration for `n` cores.
+fn weights_strategy(n: usize) -> impl Strategy<Value = CreditConfig> {
+    proptest::collection::vec(1u32..5, n..=n).prop_map(move |nums| {
+        let den: u32 = nums.iter().sum();
+        CreditConfig::weighted(56, nums, den).expect("sums match by construction")
+    })
+}
+
+/// Saturates every core with `durations[i]`-cycle requests under the given
+/// filter for `horizon` cycles; returns per-core busy cycles.
+fn saturate(config: &CreditConfig, durations: &[u32], horizon: u64) -> Vec<u64> {
+    let n = durations.len();
+    let mut bus = Bus::new(
+        BusConfig::new(n, 56).unwrap(),
+        PolicyKind::RoundRobin.build(n, 56),
+    );
+    bus.set_filter(Box::new(CreditFilter::new(config.clone())));
+    for now in 0..horizon {
+        bus.begin_cycle(now);
+        for (i, &d) in durations.iter().enumerate() {
+            let c = CoreId::from_index(i);
+            if !bus.has_pending(c) && bus.owner() != Some(c) {
+                bus.post(BusRequest::new(c, d, RequestKind::Synthetic, now).unwrap())
+                    .unwrap();
+            }
+        }
+        bus.end_cycle(now);
+    }
+    (0..n)
+        .map(|i| bus.trace().busy_cycles(CoreId::from_index(i)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The entitlement law: under any weighted configuration and any
+    /// request-duration mix, no saturating core exceeds its `num/den`
+    /// share of total cycles (plus one in-flight transaction).
+    #[test]
+    fn no_core_exceeds_its_entitlement(
+        config in weights_strategy(4),
+        durations in proptest::collection::vec(1u32..=56, 4..=4),
+    ) {
+        let horizon = 60_000u64;
+        let busy = saturate(&config, &durations, horizon);
+        for (i, &b) in busy.iter().enumerate() {
+            let core = CoreId::from_index(i);
+            let entitlement = config.bandwidth_fraction(core);
+            prop_assert!(
+                b as f64 <= entitlement * horizon as f64 + 56.0,
+                "core {i} used {b} of {horizon} cycles, entitlement {entitlement}"
+            );
+        }
+    }
+
+    /// Starvation freedom: every saturating core keeps receiving grants
+    /// (slot counts all positive) regardless of duration mix.
+    #[test]
+    fn every_core_keeps_being_served(
+        config in weights_strategy(4),
+        durations in proptest::collection::vec(1u32..=56, 4..=4),
+    ) {
+        let n = durations.len();
+        let mut bus = Bus::new(
+            BusConfig::new(n, 56).unwrap(),
+            PolicyKind::RoundRobin.build(n, 56),
+        );
+        bus.set_filter(Box::new(CreditFilter::new(config)));
+        for now in 0..60_000u64 {
+            bus.begin_cycle(now);
+            for (i, &d) in durations.iter().enumerate() {
+                let c = CoreId::from_index(i);
+                if !bus.has_pending(c) && bus.owner() != Some(c) {
+                    bus.post(BusRequest::new(c, d, RequestKind::Synthetic, now).unwrap())
+                        .unwrap();
+                }
+            }
+            bus.end_cycle(now);
+        }
+        for i in 0..n {
+            prop_assert!(
+                bus.trace().slots(CoreId::from_index(i)) > 10,
+                "core {i} starved: {:?} slots",
+                bus.trace().slots(CoreId::from_index(i))
+            );
+        }
+    }
+
+    /// WCET-estimation mode: the TuA's first grant never arrives before its
+    /// zero-started budget fills, for any weighted configuration.
+    #[test]
+    fn wcet_mode_first_tua_grant_respects_fill_time(config in weights_strategy(4)) {
+        let tua = CoreId::from_index(0);
+        let mut bus = Bus::new(
+            BusConfig::new(4, 56).unwrap(),
+            PolicyKind::RoundRobin.build(4, 56),
+        );
+        let threshold = config.scaled_threshold();
+        let num = config.numerator(tua) as u64;
+        let fill = threshold.div_ceil(num);
+        bus.set_filter(Box::new(CreditFilter::with_mode(
+            config,
+            Mode::WcetEstimation { tua },
+        )));
+        bus.enable_recording_trace();
+        // TuA posts immediately and persistently; no contenders.
+        let mut pending = false;
+        let mut first_grant = None;
+        for now in 0..3 * fill {
+            let done = bus.begin_cycle(now);
+            if let Some(ct) = done {
+                if ct.core == tua {
+                    pending = false;
+                }
+            }
+            if !pending && bus.owner() != Some(tua) {
+                bus.post(BusRequest::new(tua, 5, RequestKind::Synthetic, now).unwrap())
+                    .unwrap();
+                pending = true;
+            }
+            if first_grant.is_none() {
+                if let Some(records) = bus.trace().records() {
+                    if let Some(r) = records.first() {
+                        first_grant = Some(r.start);
+                    }
+                }
+            }
+            bus.end_cycle(now);
+        }
+        let first = first_grant.expect("TuA granted within 3 fill times");
+        prop_assert!(
+            first >= fill - 1,
+            "first grant at {first}, budget fill needs {fill} cycles"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! A task with exactly-controlled bus behaviour, for analytic experiments.
+
+use cba_bus::{Bus, BusRequest, CompletedTransaction, RequestKind};
+use sim_core::{CoreId, Cycle};
+
+/// A task issuing exactly `n_requests` bus transactions of a fixed
+/// `duration`, separated by fixed compute `gap`s — the task under analysis
+/// of the paper's Section II illustrative example (1,000 requests of 6
+/// cycles separated by 4 compute cycles: 10,000 cycles in isolation).
+///
+/// Unlike [`Core`](crate::Core) it bypasses the cache model so the request
+/// stream is exactly the one the paper's arithmetic assumes; use it
+/// wherever an experiment's analytic prediction must be checkable to the
+/// cycle.
+///
+/// # Example
+///
+/// ```
+/// use cba_bus::{Bus, BusConfig, PolicyKind};
+/// use cba_cpu::FixedRequestTask;
+/// use sim_core::CoreId;
+///
+/// // The paper's illustrative task under analysis, alone on the bus.
+/// let mut bus = Bus::new(BusConfig::new(1, 56)?, PolicyKind::RoundRobin.build(1, 56));
+/// let mut tua = FixedRequestTask::new(CoreId::from_index(0), 1_000, 6, 4);
+/// let mut now = 0;
+/// while !tua.is_done() {
+///     let done = bus.begin_cycle(now);
+///     tua.tick(now, done.as_ref(), &mut bus);
+///     bus.end_cycle(now);
+///     now += 1;
+/// }
+/// // 1,000 x (4 compute + 6 bus) = 10,000 cycles in isolation.
+/// assert_eq!(tua.done_at(), Some(10_000));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedRequestTask {
+    core: CoreId,
+    n_requests: u64,
+    duration: u32,
+    gap: u32,
+    state: FixedState,
+    issued: u64,
+    completed: u64,
+    done_at: Option<Cycle>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FixedState {
+    /// Computing for `rem` more cycles before the next request.
+    Computing { rem: u32 },
+    /// About to post this cycle.
+    Post,
+    /// Request posted / in service.
+    Waiting,
+    /// All requests served.
+    Done,
+}
+
+impl FixedRequestTask {
+    /// Creates the task: `n_requests` transactions of `duration` cycles,
+    /// each preceded by `gap` compute cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_requests == 0` or `duration == 0`.
+    pub fn new(core: CoreId, n_requests: u64, duration: u32, gap: u32) -> Self {
+        assert!(n_requests > 0, "n_requests must be positive");
+        assert!(duration > 0, "duration must be positive");
+        FixedRequestTask {
+            core,
+            n_requests,
+            duration,
+            gap,
+            state: if gap > 0 {
+                FixedState::Computing { rem: gap }
+            } else {
+                FixedState::Post
+            },
+            issued: 0,
+            completed: 0,
+            done_at: None,
+        }
+    }
+
+    /// The task's core.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Whether all requests completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, FixedState::Done)
+    }
+
+    /// Completion cycle, once done.
+    pub fn done_at(&self) -> Option<Cycle> {
+        self.done_at
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Isolation execution time: `n_requests * (gap + duration)` — the
+    /// analytic baseline of the paper's example.
+    pub fn isolation_cycles(&self) -> u64 {
+        self.n_requests * (self.gap as u64 + self.duration as u64)
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self, now: Cycle, completed: Option<&CompletedTransaction>, bus: &mut Bus) {
+        if let Some(ct) = completed {
+            if ct.core == self.core && matches!(self.state, FixedState::Waiting) {
+                self.completed += 1;
+                self.state = if self.completed == self.n_requests {
+                    self.done_at = Some(now);
+                    FixedState::Done
+                } else if self.gap > 0 {
+                    FixedState::Computing { rem: self.gap }
+                } else {
+                    FixedState::Post
+                };
+            }
+        }
+        match self.state {
+            FixedState::Done | FixedState::Waiting => {}
+            FixedState::Computing { rem } => {
+                self.state = if rem > 1 {
+                    FixedState::Computing { rem: rem - 1 }
+                } else {
+                    FixedState::Post
+                };
+            }
+            FixedState::Post => {
+                bus.post(
+                    BusRequest::new(self.core, self.duration, RequestKind::Synthetic, now)
+                        .expect("validated duration"),
+                )
+                .expect("fixed task posts one request at a time");
+                self.issued += 1;
+                self.state = FixedState::Waiting;
+            }
+        }
+    }
+
+    /// Resets for a fresh run.
+    pub fn reset(&mut self) {
+        self.state = if self.gap > 0 {
+            FixedState::Computing { rem: self.gap }
+        } else {
+            FixedState::Post
+        };
+        self.issued = 0;
+        self.completed = 0;
+        self.done_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cba_bus::{BusConfig, PolicyKind};
+
+    fn c(i: usize) -> CoreId {
+        CoreId::from_index(i)
+    }
+
+    fn run(task: &mut FixedRequestTask, bus: &mut Bus, limit: Cycle) -> Cycle {
+        let mut now = 0;
+        while !task.is_done() && now < limit {
+            let done = bus.begin_cycle(now);
+            task.tick(now, done.as_ref(), bus);
+            bus.end_cycle(now);
+            now += 1;
+        }
+        now
+    }
+
+    #[test]
+    fn isolation_time_matches_paper_arithmetic() {
+        let mut bus = Bus::new(
+            BusConfig::new(1, 56).unwrap(),
+            PolicyKind::RoundRobin.build(1, 56),
+        );
+        let mut tua = FixedRequestTask::new(c(0), 1000, 6, 4);
+        assert_eq!(tua.isolation_cycles(), 10_000);
+        run(&mut tua, &mut bus, 20_000);
+        assert_eq!(tua.done_at(), Some(10_000));
+    }
+
+    #[test]
+    fn zero_gap_posts_back_to_back() {
+        let mut bus = Bus::new(
+            BusConfig::new(1, 56).unwrap(),
+            PolicyKind::RoundRobin.build(1, 56),
+        );
+        let mut tua = FixedRequestTask::new(c(0), 10, 5, 0);
+        run(&mut tua, &mut bus, 1_000);
+        // 10 x 5 cycles, no gaps, no contention: 50 cycles.
+        assert_eq!(tua.done_at(), Some(50));
+    }
+
+    #[test]
+    fn completion_counting() {
+        let mut bus = Bus::new(
+            BusConfig::new(1, 56).unwrap(),
+            PolicyKind::RoundRobin.build(1, 56),
+        );
+        let mut tua = FixedRequestTask::new(c(0), 3, 7, 2);
+        run(&mut tua, &mut bus, 100);
+        assert_eq!(tua.completed(), 3);
+        assert_eq!(tua.done_at(), Some(3 * 9));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut bus = Bus::new(
+            BusConfig::new(1, 56).unwrap(),
+            PolicyKind::RoundRobin.build(1, 56),
+        );
+        let mut tua = FixedRequestTask::new(c(0), 5, 6, 4);
+        run(&mut tua, &mut bus, 1_000);
+        assert!(tua.is_done());
+        tua.reset();
+        assert!(!tua.is_done());
+        assert_eq!(tua.completed(), 0);
+        let mut bus2 = Bus::new(
+            BusConfig::new(1, 56).unwrap(),
+            PolicyKind::RoundRobin.build(1, 56),
+        );
+        run(&mut tua, &mut bus2, 1_000);
+        assert_eq!(tua.done_at(), Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_requests_rejected() {
+        let _ = FixedRequestTask::new(c(0), 0, 6, 4);
+    }
+}

@@ -1,0 +1,283 @@
+//! The end-to-end pWCET pipeline: samples → block maxima → Gumbel fit →
+//! per-run exceedance quantiles.
+
+use crate::gumbel::Gumbel;
+use crate::iid::IidReport;
+use crate::MbptaError;
+
+/// Configuration of the pWCET fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MbptaConfig {
+    /// Block size for the block-maxima reduction (the MBPTA literature
+    /// commonly uses 10–50 with ≥ 100 blocks).
+    pub block_size: usize,
+    /// Minimum number of raw samples required.
+    pub min_samples: usize,
+    /// Use maximum-likelihood fitting (`true`, default) or method of
+    /// moments.
+    pub mle: bool,
+}
+
+impl Default for MbptaConfig {
+    fn default() -> Self {
+        MbptaConfig {
+            block_size: 10,
+            min_samples: 100,
+            mle: true,
+        }
+    }
+}
+
+/// A fitted pWCET model.
+///
+/// The Gumbel distribution is fitted to block maxima of `block_size` runs;
+/// per-run exceedance probabilities are converted through
+/// `P(run > x) = 1 - G(x)^(1/b)`.
+///
+/// See the [crate example](crate) for usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PWcetModel {
+    gumbel: Gumbel,
+    block_size: usize,
+    n_samples: usize,
+    n_blocks: usize,
+    max_observed: f64,
+}
+
+impl PWcetModel {
+    /// Fits the model.
+    ///
+    /// # Errors
+    ///
+    /// * [`MbptaError::TooFewSamples`] if fewer than
+    ///   `config.min_samples` samples or fewer than 10 blocks;
+    /// * [`MbptaError::InvalidParameter`] if `block_size == 0`;
+    /// * fit errors from [`Gumbel`] for degenerate data.
+    pub fn fit(samples: &[f64], config: MbptaConfig) -> Result<Self, MbptaError> {
+        if config.block_size == 0 {
+            return Err(MbptaError::InvalidParameter("block_size must be positive".into()));
+        }
+        if samples.len() < config.min_samples {
+            return Err(MbptaError::TooFewSamples {
+                got: samples.len(),
+                need: config.min_samples,
+            });
+        }
+        let maxima = block_maxima(samples, config.block_size);
+        if maxima.len() < 10 {
+            return Err(MbptaError::TooFewSamples {
+                got: maxima.len(),
+                need: 10,
+            });
+        }
+        let gumbel = if config.mle {
+            Gumbel::fit_mle(&maxima)?
+        } else {
+            Gumbel::fit_moments(&maxima)?
+        };
+        let max_observed = samples
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        Ok(PWcetModel {
+            gumbel,
+            block_size: config.block_size,
+            n_samples: samples.len(),
+            n_blocks: maxima.len(),
+            max_observed,
+        })
+    }
+
+    /// The fitted Gumbel (block-maxima scale).
+    pub fn gumbel(&self) -> &Gumbel {
+        &self.gumbel
+    }
+
+    /// Largest observed sample.
+    pub fn max_observed(&self) -> f64 {
+        self.max_observed
+    }
+
+    /// Number of raw samples used.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// The execution-time bound exceeded with probability at most `p` per
+    /// **run**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile_per_run(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+        // P(run <= x) = (1 - p)  =>  G(x) = (1 - p)^b.
+        // For tiny p, (1-p)^b == 1 in f64; use ln1p for the exponent:
+        // ln G = b * ln(1-p); quantile needs -ln(-ln G) where
+        // -ln G = -b*ln(1-p) ≈ b*p.
+        let b = self.block_size as f64;
+        let neg_ln_g = -b * (-p).ln_1p(); // = -b ln(1-p) > 0
+        self.gumbel.mu - self.gumbel.beta * neg_ln_g.ln()
+    }
+
+    /// The per-run exceedance probability of threshold `x` under the
+    /// model.
+    pub fn exceedance(&self, x: f64) -> f64 {
+        let g = self.gumbel.cdf(x).clamp(1e-300, 1.0);
+        1.0 - g.powf(1.0 / self.block_size as f64)
+    }
+
+    /// Samples the pWCET curve at the given per-run exceedance
+    /// probabilities, returning `(p, bound)` pairs.
+    pub fn curve(&self, ps: &[f64]) -> Vec<(f64, f64)> {
+        ps.iter().map(|&p| (p, self.quantile_per_run(p))).collect()
+    }
+
+    /// Convenience: fit and report iid-test results together (the full
+    /// MBPTA protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit and test errors.
+    pub fn analyze(
+        samples: &[f64],
+        config: MbptaConfig,
+    ) -> Result<(Self, IidReport), MbptaError> {
+        let report = IidReport::analyze(samples)?;
+        let model = Self::fit(samples, config)?;
+        Ok((model, report))
+    }
+}
+
+/// Reduces samples to per-block maxima (trailing partial block dropped).
+pub fn block_maxima(samples: &[f64], block_size: usize) -> Vec<f64> {
+    assert!(block_size > 0, "block_size must be positive");
+    samples
+        .chunks_exact(block_size)
+        .map(|chunk| chunk.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniforms(n: usize, seed: u64) -> Vec<f64> {
+        let mut z = seed;
+        (0..n)
+            .map(|_| {
+                z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                x ^= x >> 31;
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    /// Gumbel-ish execution times around 50,000 cycles.
+    fn exec_times(n: usize, seed: u64) -> Vec<f64> {
+        let g = Gumbel::new(50_000.0, 500.0).unwrap();
+        uniforms(n, seed)
+            .into_iter()
+            .map(|u| g.quantile(u.clamp(1e-12, 1.0 - 1e-12)))
+            .collect()
+    }
+
+    #[test]
+    fn block_maxima_reduction() {
+        let samples = vec![1.0, 5.0, 2.0, 9.0, 3.0, 4.0, 7.0];
+        assert_eq!(block_maxima(&samples, 2), vec![5.0, 9.0, 4.0]);
+        assert_eq!(block_maxima(&samples, 7), vec![9.0]);
+    }
+
+    #[test]
+    fn pwcet_dominates_observations() {
+        let samples = exec_times(1_000, 21);
+        let model = PWcetModel::fit(&samples, MbptaConfig::default()).unwrap();
+        // At p = 1e-3 (once per 1,000 runs) the bound should be around the
+        // observed max; at 1e-12 it must clearly dominate.
+        assert!(model.quantile_per_run(1e-12) > model.max_observed());
+        assert!(model.quantile_per_run(1e-9) > samples.iter().sum::<f64>() / 1_000.0);
+    }
+
+    #[test]
+    fn pwcet_curve_is_monotone() {
+        let samples = exec_times(1_000, 22);
+        let model = PWcetModel::fit(&samples, MbptaConfig::default()).unwrap();
+        let ps = [1e-3, 1e-6, 1e-9, 1e-12, 1e-15];
+        let curve = model.curve(&ps);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 > w[0].1,
+                "bound must grow as p shrinks: {curve:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exceedance_inverts_quantile() {
+        let samples = exec_times(2_000, 23);
+        let model = PWcetModel::fit(&samples, MbptaConfig::default()).unwrap();
+        for p in [1e-3, 1e-6, 1e-9] {
+            let x = model.quantile_per_run(p);
+            let back = model.exceedance(x);
+            assert!(
+                (back / p - 1.0).abs() < 0.01,
+                "p={p}: exceedance({x}) = {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_exceedance_calibration() {
+        // With samples drawn from a known Gumbel, the model's 1e-3 bound
+        // should be close to the true 99.9% per-run quantile.
+        let truth = Gumbel::new(50_000.0, 500.0).unwrap();
+        let samples = exec_times(10_000, 24);
+        let model = PWcetModel::fit(&samples, MbptaConfig::default()).unwrap();
+        let estimated = model.quantile_per_run(1e-3);
+        let true_q = truth.quantile(1.0 - 1e-3);
+        assert!(
+            ((estimated - true_q) / true_q).abs() < 0.01,
+            "estimated {estimated} vs true {true_q}"
+        );
+    }
+
+    #[test]
+    fn analyze_bundles_iid_report() {
+        let samples = exec_times(1_000, 28);
+        let (model, report) = PWcetModel::analyze(&samples, MbptaConfig::default()).unwrap();
+        assert!(report.passes(0.05), "iid data must pass");
+        assert!(model.n_samples() == 1_000);
+    }
+
+    #[test]
+    fn fit_validation() {
+        let samples = exec_times(1_000, 26);
+        let mut config = MbptaConfig::default();
+        config.block_size = 0;
+        assert!(PWcetModel::fit(&samples, config).is_err());
+        config = MbptaConfig::default();
+        assert!(matches!(
+            PWcetModel::fit(&samples[..50], config),
+            Err(MbptaError::TooFewSamples { .. })
+        ));
+        // 100 samples but block size 50 -> only 2 blocks.
+        config.block_size = 50;
+        config.min_samples = 100;
+        assert!(matches!(
+            PWcetModel::fit(&samples[..100], config),
+            Err(MbptaError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_p_does_not_collapse_numerically() {
+        let samples = exec_times(1_000, 27);
+        let model = PWcetModel::fit(&samples, MbptaConfig::default()).unwrap();
+        let q16 = model.quantile_per_run(1e-16);
+        let q15 = model.quantile_per_run(1e-15);
+        assert!(q16.is_finite() && q16 > q15, "ln1p path must keep resolution");
+    }
+}

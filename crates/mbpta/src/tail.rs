@@ -1,0 +1,145 @@
+//! Exponential tail fitting (peaks-over-threshold).
+//!
+//! A light-weight cross-check for the Gumbel block-maxima model: if
+//! execution times have an exponential upper tail (the Gumbel domain of
+//! attraction), the excesses over a high threshold are approximately
+//! exponential. Fitting the excess rate gives an independent tail
+//! extrapolation to compare against the Gumbel quantiles — a large
+//! disagreement flags an untrustworthy fit (the spirit of the later
+//! MBPTA-CV method).
+
+use crate::MbptaError;
+
+/// An exponential fit of threshold excesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialTail {
+    /// The threshold `u` (a high empirical quantile of the sample).
+    pub threshold: f64,
+    /// Mean excess over the threshold (the exponential scale).
+    pub scale: f64,
+    /// Fraction of samples above the threshold.
+    pub exceed_fraction: f64,
+    /// Number of excesses the fit is based on.
+    pub n_excesses: usize,
+}
+
+impl ExponentialTail {
+    /// Fits the tail above the empirical `q`-quantile (e.g. `q = 0.9`).
+    ///
+    /// # Errors
+    ///
+    /// * [`MbptaError::InvalidParameter`] if `q` not in `(0, 1)`;
+    /// * [`MbptaError::TooFewSamples`] if fewer than 10 excesses remain;
+    /// * [`MbptaError::DegenerateSamples`] if all excesses are zero.
+    pub fn fit(samples: &[f64], q: f64) -> Result<Self, MbptaError> {
+        if !(0.0 < q && q < 1.0) {
+            return Err(MbptaError::InvalidParameter(format!(
+                "threshold quantile must be in (0,1), got {q}"
+            )));
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let idx = ((sorted.len() as f64) * q) as usize;
+        let idx = idx.min(sorted.len().saturating_sub(1));
+        let threshold = sorted[idx];
+        let excesses: Vec<f64> = sorted
+            .iter()
+            .filter(|&&x| x > threshold)
+            .map(|&x| x - threshold)
+            .collect();
+        if excesses.len() < 10 {
+            return Err(MbptaError::TooFewSamples {
+                got: excesses.len(),
+                need: 10,
+            });
+        }
+        let scale = excesses.iter().sum::<f64>() / excesses.len() as f64;
+        if scale <= 0.0 {
+            return Err(MbptaError::DegenerateSamples(
+                "all excesses are zero".into(),
+            ));
+        }
+        Ok(ExponentialTail {
+            threshold,
+            scale,
+            exceed_fraction: excesses.len() as f64 / samples.len() as f64,
+            n_excesses: excesses.len(),
+        })
+    }
+
+    /// The execution time exceeded with probability `p` per run
+    /// (`p` must be below the threshold's exceedance fraction for the
+    /// extrapolation to make sense).
+    ///
+    /// `P(X > x) = exceed_fraction * exp(-(x - u)/scale)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile_per_run(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+        self.threshold + self.scale * (self.exceed_fraction / p).ln().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exponential_samples(n: usize, rate: f64, seed: u64) -> Vec<f64> {
+        let mut z = seed;
+        (0..n)
+            .map(|_| {
+                z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                x ^= x >> 31;
+                let u = ((x >> 11) as f64 / (1u64 << 53) as f64).clamp(1e-12, 1.0 - 1e-12);
+                -(1.0 - u).ln() / rate
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exponential_scale() {
+        let samples = exponential_samples(20_000, 0.5, 11);
+        let fit = ExponentialTail::fit(&samples, 0.9).unwrap();
+        // Memoryless: excesses of Exp(0.5) are Exp(0.5), scale = 2.
+        assert!((fit.scale - 2.0).abs() < 0.15, "scale={}", fit.scale);
+        assert!((fit.exceed_fraction - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn quantile_extrapolates_consistently() {
+        let samples = exponential_samples(20_000, 1.0, 12);
+        let fit = ExponentialTail::fit(&samples, 0.9).unwrap();
+        // For Exp(1): P(X > x) = e^-x, so x(p) = -ln p.
+        for p in [1e-6, 1e-9, 1e-12] {
+            let x = fit.quantile_per_run(p);
+            let expect = -(p as f64).ln();
+            assert!(
+                (x - expect).abs() / expect < 0.1,
+                "p={p}: {x} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_monotone_in_p() {
+        let samples = exponential_samples(5_000, 1.0, 13);
+        let fit = ExponentialTail::fit(&samples, 0.85).unwrap();
+        assert!(fit.quantile_per_run(1e-12) > fit.quantile_per_run(1e-6));
+        assert!(fit.quantile_per_run(1e-6) > fit.quantile_per_run(1e-3));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let samples = exponential_samples(100, 1.0, 14);
+        assert!(ExponentialTail::fit(&samples, 0.0).is_err());
+        assert!(ExponentialTail::fit(&samples, 1.0).is_err());
+        assert!(ExponentialTail::fit(&samples, 0.99).is_err()); // <10 excesses
+        let constant = vec![5.0; 100];
+        assert!(ExponentialTail::fit(&constant, 0.5).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! The shared, per-core-partitioned L2 cache.
+
+use crate::cache::{CacheConfig, CacheOutcome, SetAssocCache};
+use crate::MemError;
+use sim_core::rng::SimRng;
+use sim_core::CoreId;
+
+/// The platform's shared L2: one private partition per core.
+///
+/// Partitioning (here: disjoint storage per core, equivalent to strict
+/// way/bank partitioning) removes all *storage* interference between cores
+/// — core `i` can never evict core `j`'s lines. What remains shared is the
+/// bus in front of the L2, which is exactly the paper's experimental
+/// setting: contention effects are bandwidth effects.
+///
+/// # Example
+///
+/// ```
+/// use cba_mem::{CacheConfig, PartitionedL2};
+/// use sim_core::{CoreId, rng::SimRng};
+///
+/// let mut rng = SimRng::seed_from(3);
+/// let mut l2 = PartitionedL2::new(4, CacheConfig::paper_l2_partition(), &mut rng)?;
+/// let c0 = CoreId::from_index(0);
+/// let c1 = CoreId::from_index(1);
+/// l2.read(c0, 0x9000, &mut rng);
+/// // Core 1 hammering the same address leaves core 0's partition intact.
+/// for _ in 0..10_000 { l2.read(c1, 0x9000, &mut rng); }
+/// assert!(l2.partition(c0).contains(0x9000));
+/// # Ok::<(), cba_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedL2 {
+    partitions: Vec<SetAssocCache>,
+}
+
+impl PartitionedL2 {
+    /// Creates an L2 with `n_cores` partitions of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] if `n_cores == 0` or the
+    /// partition geometry is invalid.
+    pub fn new(
+        n_cores: usize,
+        partition_config: CacheConfig,
+        rng: &mut SimRng,
+    ) -> Result<Self, MemError> {
+        if n_cores == 0 {
+            return Err(MemError::InvalidConfig("n_cores must be positive".into()));
+        }
+        let partitions = (0..n_cores)
+            .map(|_| SetAssocCache::new(partition_config, rng))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PartitionedL2 { partitions })
+    }
+
+    /// Number of partitions (= cores).
+    pub fn n_cores(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Read access by `core` into its own partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the platform.
+    pub fn read(&mut self, core: CoreId, addr: u64, rng: &mut SimRng) -> CacheOutcome {
+        self.partitions[core.index()].read(addr, rng)
+    }
+
+    /// Write access by `core` into its own partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the platform.
+    pub fn write(&mut self, core: CoreId, addr: u64, rng: &mut SimRng) -> CacheOutcome {
+        self.partitions[core.index()].write(addr, rng)
+    }
+
+    /// Immutable view of one core's partition.
+    pub fn partition(&self, core: CoreId) -> &SetAssocCache {
+        &self.partitions[core.index()]
+    }
+
+    /// Reseeds (invalidates + re-randomizes placement of) every partition.
+    pub fn reseed(&mut self, rng: &mut SimRng) {
+        for p in &mut self.partitions {
+            p.reseed(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> CoreId {
+        CoreId::from_index(i)
+    }
+
+    fn mk() -> (PartitionedL2, SimRng) {
+        let mut rng = SimRng::seed_from(21);
+        let l2 = PartitionedL2::new(4, CacheConfig::paper_l2_partition(), &mut rng).unwrap();
+        (l2, rng)
+    }
+
+    #[test]
+    fn partitions_are_isolated() {
+        let (mut l2, mut rng) = mk();
+        // Core 0 loads a working set.
+        for i in 0..64u64 {
+            l2.read(c(0), i * 16, &mut rng);
+        }
+        let lines_before = l2.partition(c(0)).valid_lines();
+        // Core 1 thrashes far beyond its partition capacity.
+        for i in 0..100_000u64 {
+            l2.read(c(1), i * 16, &mut rng);
+        }
+        assert_eq!(
+            l2.partition(c(0)).valid_lines(),
+            lines_before,
+            "core 1 must not evict core 0's lines"
+        );
+        for i in 0..64u64 {
+            assert!(l2.partition(c(0)).contains(i * 16));
+        }
+    }
+
+    #[test]
+    fn per_partition_statistics() {
+        let (mut l2, mut rng) = mk();
+        l2.read(c(2), 0x100, &mut rng);
+        l2.read(c(2), 0x100, &mut rng);
+        assert_eq!(l2.partition(c(2)).hits(), 1);
+        assert_eq!(l2.partition(c(2)).misses(), 1);
+        assert_eq!(l2.partition(c(3)).hits() + l2.partition(c(3)).misses(), 0);
+    }
+
+    #[test]
+    fn writes_dirty_own_partition_only() {
+        let (mut l2, mut rng) = mk();
+        l2.write(c(0), 0x200, &mut rng);
+        assert!(l2.partition(c(0)).contains(0x200));
+        assert!(!l2.partition(c(1)).contains(0x200));
+    }
+
+    #[test]
+    fn reseed_clears_all_partitions() {
+        let (mut l2, mut rng) = mk();
+        for i in 0..4 {
+            l2.read(c(i), 0x300, &mut rng);
+        }
+        l2.reseed(&mut rng);
+        for i in 0..4 {
+            assert_eq!(l2.partition(c(i)).valid_lines(), 0);
+        }
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let mut rng = SimRng::seed_from(0);
+        assert!(PartitionedL2::new(0, CacheConfig::paper_l2_partition(), &mut rng).is_err());
+    }
+}

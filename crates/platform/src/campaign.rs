@@ -1,0 +1,209 @@
+//! Monte-Carlo campaigns: many randomized runs of one spec.
+//!
+//! The paper's evaluation averages **1,000 runs** per configuration
+//! because cache placement and arbitration are randomized — a single run
+//! is a sample, not a result. [`Campaign`] executes `runs` independent
+//! [`run_once`] invocations with per-run forked seeds,
+//! optionally across threads, and aggregates the execution times.
+
+use crate::platform::{run_once, RunResult, RunSpec};
+use sim_core::rng::SimRng;
+use sim_core::stats::Summary;
+
+/// A batch of independent runs of one spec.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    spec: RunSpec,
+    runs: usize,
+    master_seed: u64,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign of `runs` runs seeded from `master_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`.
+    pub fn new(spec: RunSpec, runs: usize, master_seed: u64) -> Self {
+        assert!(runs > 0, "a campaign needs at least one run");
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        Campaign {
+            spec,
+            runs,
+            master_seed,
+            threads,
+        }
+    }
+
+    /// Overrides the worker-thread count (1 = fully sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The per-run seed for run `index` (stable, order-independent).
+    pub fn seed_for(&self, index: usize) -> u64 {
+        SimRng::seed_from(self.master_seed)
+            .fork(index as u64)
+            .seed()
+    }
+
+    /// Executes all runs and aggregates.
+    pub fn run(&self) -> CampaignResult {
+        let mut results: Vec<Option<RunResult>> = vec![None; self.runs];
+        if self.threads <= 1 || self.runs == 1 {
+            for (i, slot) in results.iter_mut().enumerate() {
+                *slot = Some(run_once(&self.spec, self.seed_for(i)));
+            }
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let spec = &self.spec;
+            let this = &*self;
+            let slots = std::sync::Mutex::new(&mut results);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= this.runs {
+                            break;
+                        }
+                        let result = run_once(spec, this.seed_for(i));
+                        let mut guard = slots.lock().expect("no poisoned runs");
+                        guard[i] = Some(result);
+                    });
+                }
+            });
+        }
+        let results: Vec<RunResult> = results
+            .into_iter()
+            .map(|r| r.expect("all runs executed"))
+            .collect();
+        CampaignResult::aggregate(results)
+    }
+}
+
+/// Aggregated campaign output.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    samples: Vec<f64>,
+    summary: Summary,
+    unfinished: usize,
+    results: Vec<RunResult>,
+}
+
+impl CampaignResult {
+    fn aggregate(results: Vec<RunResult>) -> Self {
+        let mut samples = Vec::with_capacity(results.len());
+        let mut summary = Summary::new();
+        let mut unfinished = 0;
+        for r in &results {
+            match (r.finished, r.tua_cycles) {
+                (true, Some(t)) => {
+                    samples.push(t as f64);
+                    summary.record(t as f64);
+                }
+                (true, None) => {
+                    // Horizon runs have no TuA completion; record the
+                    // horizon itself so fairness campaigns still aggregate.
+                    samples.push(r.total_cycles as f64);
+                    summary.record(r.total_cycles as f64);
+                }
+                _ => unfinished += 1,
+            }
+        }
+        CampaignResult {
+            samples,
+            summary,
+            unfinished,
+            results,
+        }
+    }
+
+    /// Execution-time samples (cycles), in run order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Aggregate statistics over the samples.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Runs that hit the safety limit instead of finishing.
+    pub fn unfinished(&self) -> usize {
+        self.unfinished
+    }
+
+    /// All raw run results, in run order.
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// Mean execution time (cycles).
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// The `q`-quantile of the execution-time samples (`q` in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run finished or `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        sim_core::stats::percentile(&self.samples, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BusSetup, CoreLoad, Scenario};
+
+    fn small_spec() -> RunSpec {
+        RunSpec::paper(BusSetup::Rp, Scenario::Isolation, CoreLoad::named("rspeed"))
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let a = Campaign::new(small_spec(), 6, 42).run();
+        let b = Campaign::new(small_spec(), 6, 42).run();
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.unfinished(), 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let seq = Campaign::new(small_spec(), 8, 9).with_threads(1).run();
+        let par = Campaign::new(small_spec(), 8, 9).with_threads(4).run();
+        assert_eq!(seq.samples(), par.samples());
+    }
+
+    #[test]
+    fn runs_vary_across_seeds() {
+        let result = Campaign::new(small_spec(), 10, 1).run();
+        let first = result.samples()[0];
+        assert!(
+            result.samples().iter().any(|&s| s != first),
+            "randomized caches must produce spread: {:?}",
+            result.samples()
+        );
+    }
+
+    #[test]
+    fn summary_matches_samples() {
+        let result = Campaign::new(small_spec(), 5, 3).run();
+        let mean = result.samples().iter().sum::<f64>() / 5.0;
+        assert!((result.mean() - mean).abs() < 1e-9);
+        assert_eq!(result.summary().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let _ = Campaign::new(small_spec(), 0, 0);
+    }
+}

@@ -1,0 +1,537 @@
+//! Experiment drivers: one function per paper artifact, shared by the
+//! bench regenerators, the integration tests and the examples.
+//!
+//! Every driver takes a run count and a master seed so the same code can
+//! power quick CI checks (tens of runs) and full reproductions (the
+//! paper's 1,000 runs per configuration).
+
+use crate::campaign::Campaign;
+use crate::config::{BusSetup, PlatformConfig};
+use crate::platform::{CoreLoad, RunSpec, Scenario};
+use cba::CreditConfig;
+use cba_bus::PolicyKind;
+use cba_mbpta::iid::IidReport;
+use cba_mbpta::pwcet::{MbptaConfig, PWcetModel};
+use cba_mbpta::MbptaError;
+use cba_workloads::EembcProfile;
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Cell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Bus setup label ("RP", "CBA", "H-CBA").
+    pub setup: String,
+    /// "ISO" or "CON".
+    pub scenario: &'static str,
+    /// Mean execution time over the campaign (cycles).
+    pub mean_cycles: f64,
+    /// Normalized to the benchmark's RP-ISO mean (the figure's y-axis).
+    pub normalized: f64,
+    /// Half-width of the 95% confidence interval on the normalized mean.
+    pub ci95: f64,
+}
+
+/// Regenerates Figure 1: normalized average execution times for
+/// {RP, CBA, H-CBA} x {isolation, max contention} over `benchmarks`,
+/// `runs` randomized runs per bar.
+pub fn fig1(benchmarks: &[EembcProfile], runs: usize, seed: u64) -> Vec<Fig1Cell> {
+    let mut cells = Vec::new();
+    for (bi, profile) in benchmarks.iter().enumerate() {
+        let mut baseline = None;
+        for (si, setup) in BusSetup::paper_setups().into_iter().enumerate() {
+            for (ci, scenario) in [Scenario::Isolation, Scenario::MaxContention]
+                .into_iter()
+                .enumerate()
+            {
+                let spec = RunSpec::paper(
+                    setup.clone(),
+                    scenario,
+                    CoreLoad::Profile(profile.clone()),
+                );
+                let campaign_seed = seed ^ ((bi as u64) << 40 | (si as u64) << 20 | ci as u64);
+                let result = Campaign::new(spec, runs, campaign_seed).run();
+                let mean = result.mean();
+                if baseline.is_none() {
+                    // First cell per benchmark is RP-ISO: the normalizer.
+                    baseline = Some(mean);
+                }
+                let base = baseline.expect("set on first iteration");
+                cells.push(Fig1Cell {
+                    benchmark: profile.name.to_string(),
+                    setup: setup.label(),
+                    scenario: if ci == 0 { "ISO" } else { "CON" },
+                    mean_cycles: mean,
+                    normalized: mean / base,
+                    ci95: result.summary().ci95_half_width() / base,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Derived statistics the paper quotes in Section IV.B.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Digest {
+    /// Worst CON slowdown without CBA and the benchmark it occurs on
+    /// (paper: 3.34x, matrix).
+    pub worst_rp_con: (String, f64),
+    /// Worst CON slowdown with CBA (paper: 2.34x).
+    pub worst_cba_con: (String, f64),
+    /// Average ISO overhead of CBA vs RP (paper: ~3%).
+    pub cba_iso_overhead: f64,
+    /// Average ISO overhead of H-CBA vs RP (paper: negligible).
+    pub hcba_iso_overhead: f64,
+}
+
+/// Computes the paper's quoted digest numbers from Figure-1 cells.
+pub fn fig1_digest(cells: &[Fig1Cell]) -> Fig1Digest {
+    fn pick<'a>(
+        cells: &'a [Fig1Cell],
+        setup: &'a str,
+        scenario: &'a str,
+    ) -> impl Iterator<Item = &'a Fig1Cell> {
+        cells
+            .iter()
+            .filter(move |c| c.setup == setup && c.scenario == scenario)
+    }
+    let worst = |setup: &str| {
+        pick(cells, setup, "CON")
+            .max_by(|a, b| a.normalized.partial_cmp(&b.normalized).expect("finite"))
+            .map(|c| (c.benchmark.clone(), c.normalized))
+            .unwrap_or_default()
+    };
+    let mean_overhead = |setup: &str| {
+        let overheads: Vec<f64> = pick(cells, setup, "ISO").map(|c| c.normalized - 1.0).collect();
+        if overheads.is_empty() {
+            0.0
+        } else {
+            overheads.iter().sum::<f64>() / overheads.len() as f64
+        }
+    };
+    Fig1Digest {
+        worst_rp_con: worst("RP"),
+        worst_cba_con: worst("CBA"),
+        cba_iso_overhead: mean_overhead("CBA"),
+        hcba_iso_overhead: mean_overhead("H-CBA"),
+    }
+}
+
+/// One row of the Section II illustrative-example table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IllustrativeRow {
+    /// Configuration label.
+    pub config: String,
+    /// Mean execution time of the TuA (cycles).
+    pub mean_cycles: f64,
+    /// Slowdown vs the 10,000-cycle isolation time.
+    pub slowdown: f64,
+}
+
+/// The paper's analytic reference points for the illustrative example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IllustrativeAnalytic {
+    /// Isolation execution time (10,000 cycles).
+    pub isolation: f64,
+    /// Request-fair prediction: `4,000 + 1,000 x (6 + 3x28) = 94,000`.
+    pub request_fair: f64,
+    /// Idealized cycle-fair prediction: `4,000 + 1,000 x (6+18) = 28,000`.
+    pub cycle_fair: f64,
+}
+
+impl IllustrativeAnalytic {
+    /// The paper's numbers.
+    pub fn paper() -> Self {
+        IllustrativeAnalytic {
+            isolation: 10_000.0,
+            request_fair: 94_000.0,
+            cycle_fair: 28_000.0,
+        }
+    }
+}
+
+/// Regenerates the Section II illustrative example: a TuA issuing 1,000
+/// 6-cycle requests every 10 cycles against three streaming co-runners
+/// with 28-cycle requests, under request-fair policies and under CBA.
+pub fn illustrative(runs: usize, seed: u64) -> Vec<IllustrativeRow> {
+    let tua = CoreLoad::FixedTask {
+        n_requests: 1_000,
+        duration: 6,
+        gap: 4,
+    };
+    let contenders: Vec<CoreLoad> = (0..3)
+        .map(|_| CoreLoad::Saturating { duration: 28 })
+        .collect();
+    let configs: Vec<(String, BusSetup)> = vec![
+        ("RR (request-fair)".into(), BusSetup::Custom {
+            policy: PolicyKind::RoundRobin,
+            cba: None,
+        }),
+        ("RP (request-fair)".into(), BusSetup::Rp),
+        ("FIFO (request-fair)".into(), BusSetup::Custom {
+            policy: PolicyKind::Fifo,
+            cba: None,
+        }),
+        ("RP + CBA (cycle-fair)".into(), BusSetup::Cba),
+        ("RP + H-CBA (TuA 50%)".into(), BusSetup::HCba),
+    ];
+    let mut rows = Vec::new();
+    for (i, (label, setup)) in configs.into_iter().enumerate() {
+        let mut spec = RunSpec::paper(
+            setup,
+            Scenario::Custom(contenders.clone()),
+            tua.clone(),
+        );
+        // These are live streaming co-runners, not WCET-mode generators.
+        spec.wcet_mode = false;
+        let result = Campaign::new(spec, runs, seed ^ (i as u64) << 16).run();
+        rows.push(IllustrativeRow {
+            config: label,
+            mean_cycles: result.mean(),
+            slowdown: result.mean() / 10_000.0,
+        });
+    }
+    rows
+}
+
+/// One row of the fairness sweep (conclusion claim: CBA bounds the
+/// slowdown by ~N while request-fair arbitration degrades with the
+/// request-length ratio).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Core count.
+    pub n_cores: usize,
+    /// Whether the credit filter was active.
+    pub cba: bool,
+    /// Contender request duration (TuA requests are 5 cycles).
+    pub contender_duration: u32,
+    /// TuA slowdown vs isolation.
+    pub slowdown: f64,
+}
+
+/// Sweeps contender request duration and core count for a short-request
+/// saturating TuA, with and without CBA on a round-robin bus.
+pub fn fairness_sweep(
+    core_counts: &[usize],
+    durations: &[u32],
+    runs: usize,
+    seed: u64,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    let tua = CoreLoad::FixedTask {
+        n_requests: 400,
+        duration: 5,
+        gap: 0,
+    };
+    for &n in core_counts {
+        for &use_cba in &[false, true] {
+            for (di, &d) in durations.iter().enumerate() {
+                let mut platform = PlatformConfig::paper_n_cores(
+                    &BusSetup::Custom {
+                        policy: PolicyKind::RoundRobin,
+                        cba: use_cba
+                            .then(|| CreditConfig::homogeneous(n, 56).expect("valid")),
+                    },
+                    n,
+                );
+                platform.policy = PolicyKind::RoundRobin;
+                let contenders: Vec<CoreLoad> = (1..n)
+                    .map(|_| CoreLoad::Saturating { duration: d })
+                    .collect();
+                let mut spec = RunSpec::with_platform(
+                    platform,
+                    Scenario::Custom(contenders),
+                    tua.clone(),
+                );
+                spec.wcet_mode = false;
+                let result = Campaign::new(
+                    spec,
+                    runs,
+                    seed ^ ((n as u64) << 32 | (use_cba as u64) << 16 | di as u64),
+                )
+                .run();
+                // Isolation time of the TuA: 400 back-to-back 5-cycle
+                // requests.
+                let iso = 400.0 * 5.0;
+                rows.push(SweepRow {
+                    n_cores: n,
+                    cba: use_cba,
+                    contender_duration: d,
+                    slowdown: result.mean() / iso,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One row of the H-CBA ablation (Section III.A: heterogeneous bandwidth
+/// via recovery weights vs budget caps above MaxL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// TuA mean execution time (cycles).
+    pub tua_cycles: f64,
+    /// TuA slowdown vs isolation.
+    pub slowdown: f64,
+    /// Longest back-to-back grant run of the TuA (burst capability).
+    pub tua_max_burst: f64,
+    /// Worst contender grant gap (temporal starvation), mean over runs.
+    pub contender_max_gap: f64,
+}
+
+/// Compares the two heterogeneous-allocation mechanisms for a long-request
+/// TuA: recovery weights (variant 2, the paper's evaluated H-CBA) vs a
+/// budget cap of `2 x MaxL` (variant 1, enabling back-to-back bursts).
+///
+/// Contenders are *periodic* (one MaxL request every 500 cycles), leaving
+/// quiet windows: under the base scheme the TuA still waits out its
+/// `(N-1) x MaxL` recovery between any two requests, while the cap
+/// variant banks idle-time budget and issues pairs back-to-back — at the
+/// price of longer worst-case gaps for the contenders, exactly the
+/// trade-off Section III.A describes.
+pub fn ablation_hcba(runs: usize, seed: u64) -> Vec<AblationRow> {
+    let maxl = 56;
+    let tua = CoreLoad::FixedTask {
+        n_requests: 150,
+        duration: maxl,
+        gap: 0,
+    };
+    let iso = 150.0 * maxl as f64;
+    let variants: Vec<(String, CreditConfig)> = vec![
+        (
+            "CBA (homogeneous)".into(),
+            CreditConfig::homogeneous(4, maxl).expect("valid"),
+        ),
+        (
+            "H-CBA weights (TuA 1/2)".into(),
+            CreditConfig::paper_hcba(maxl).expect("valid"),
+        ),
+        (
+            "CBA cap 2xMaxL on TuA".into(),
+            CreditConfig::homogeneous(4, maxl)
+                .expect("valid")
+                .with_cap_multipliers(vec![2, 1, 1, 1])
+                .expect("valid"),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (i, (label, credit)) in variants.into_iter().enumerate() {
+        let setup = BusSetup::Custom {
+            policy: PolicyKind::RandomPermutation,
+            cba: Some(credit),
+        };
+        let contenders: Vec<CoreLoad> = (0..3)
+            .map(|i| CoreLoad::Periodic {
+                duration: maxl,
+                period: 500,
+                phase: 150 * i as u64,
+            })
+            .collect();
+        let mut spec = RunSpec::paper(setup, Scenario::Custom(contenders), tua.clone());
+        spec.wcet_mode = false;
+        spec.record_trace = true;
+        let result = Campaign::new(spec, runs, seed ^ (i as u64) << 8).run();
+        let mut burst = 0.0;
+        let mut gap = 0.0;
+        let mut counted = 0.0;
+        for r in result.results() {
+            if let Some(b) = r.max_burst[0] {
+                burst += b as f64;
+            }
+            let worst_gap = (1..4)
+                .filter_map(|c| r.max_grant_gap[c])
+                .max()
+                .unwrap_or(0);
+            gap += worst_gap as f64;
+            counted += 1.0;
+        }
+        rows.push(AblationRow {
+            variant: label,
+            tua_cycles: result.mean(),
+            slowdown: result.mean() / iso,
+            tua_max_burst: burst / counted,
+            contender_max_gap: gap / counted,
+        });
+    }
+    rows
+}
+
+/// Full MBPTA analysis of one benchmark under one setup: WCET-mode
+/// campaign, iid battery, pWCET fit, plus an operation-mode campaign (the
+/// "deployment" contention) whose maximum the pWCET bound must dominate.
+#[derive(Debug, Clone)]
+pub struct PwcetAnalysis {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Setup label.
+    pub setup: String,
+    /// The fitted model (WCET-estimation-mode samples).
+    pub model: PWcetModel,
+    /// The iid applicability report.
+    pub iid: IidReport,
+    /// Highest execution time seen in WCET-estimation mode.
+    pub max_analysis: f64,
+    /// Highest execution time seen in operation mode with real co-runners.
+    pub max_operation: f64,
+}
+
+/// Runs the MBPTA protocol for `profile` on the paper platform under
+/// `setup`.
+///
+/// # Errors
+///
+/// Propagates fit errors (degenerate samples etc.).
+pub fn pwcet_analysis(
+    profile: &EembcProfile,
+    setup: BusSetup,
+    runs: usize,
+    seed: u64,
+) -> Result<PwcetAnalysis, MbptaError> {
+    // Analysis-time campaign: WCET-estimation mode.
+    let spec = RunSpec::paper(
+        setup.clone(),
+        Scenario::MaxContention,
+        CoreLoad::Profile(profile.clone()),
+    );
+    let analysis = Campaign::new(spec, runs, seed).run();
+    let (model, iid) = PWcetModel::analyze(analysis.samples(), MbptaConfig::default())?;
+
+    // Deployment-time campaign: real periodic co-runners, operation mode.
+    let co_runners: Vec<CoreLoad> = (0..3)
+        .map(|i| CoreLoad::Periodic {
+            duration: 28,
+            period: 90 + 10 * i as u64,
+            phase: 13 * i as u64,
+        })
+        .collect();
+    let mut op_spec = RunSpec::paper(
+        setup.clone(),
+        Scenario::Custom(co_runners),
+        CoreLoad::Profile(profile.clone()),
+    );
+    op_spec.wcet_mode = false;
+    let operation = Campaign::new(op_spec, runs, seed ^ 0x0D15EA5E).run();
+
+    let max_of = |samples: &[f64]| samples.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    Ok(PwcetAnalysis {
+        benchmark: profile.name.to_string(),
+        setup: setup.label(),
+        model,
+        iid,
+        max_analysis: max_of(analysis.samples()),
+        max_operation: max_of(operation.samples()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cba_workloads::suite;
+
+    #[test]
+    fn fig1_produces_six_cells_per_benchmark() {
+        let mut quick = suite::rspeed();
+        quick.accesses = 300;
+        let cells = fig1(&[quick], 3, 1);
+        assert_eq!(cells.len(), 6);
+        // First cell is the RP-ISO normalizer.
+        assert_eq!(cells[0].setup, "RP");
+        assert_eq!(cells[0].scenario, "ISO");
+        assert!((cells[0].normalized - 1.0).abs() < 1e-12);
+        // CON must not be faster than ISO for the same setup.
+        for pair in cells.chunks(2) {
+            assert!(
+                pair[1].normalized >= pair[0].normalized * 0.95,
+                "CON faster than ISO: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_extracts_extremes() {
+        let cells = vec![
+            Fig1Cell {
+                benchmark: "a".into(),
+                setup: "RP".into(),
+                scenario: "CON",
+                mean_cycles: 0.0,
+                normalized: 3.0,
+                ci95: 0.0,
+            },
+            Fig1Cell {
+                benchmark: "b".into(),
+                setup: "RP".into(),
+                scenario: "CON",
+                mean_cycles: 0.0,
+                normalized: 2.0,
+                ci95: 0.0,
+            },
+            Fig1Cell {
+                benchmark: "a".into(),
+                setup: "CBA".into(),
+                scenario: "CON",
+                mean_cycles: 0.0,
+                normalized: 1.8,
+                ci95: 0.0,
+            },
+            Fig1Cell {
+                benchmark: "a".into(),
+                setup: "CBA".into(),
+                scenario: "ISO",
+                mean_cycles: 0.0,
+                normalized: 1.05,
+                ci95: 0.0,
+            },
+        ];
+        let digest = fig1_digest(&cells);
+        assert_eq!(digest.worst_rp_con, ("a".into(), 3.0));
+        assert_eq!(digest.worst_cba_con, ("a".into(), 1.8));
+        assert!((digest.cba_iso_overhead - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn illustrative_request_fair_far_worse_than_cba() {
+        let rows = illustrative(2, 3);
+        let rr = rows.iter().find(|r| r.config.starts_with("RR")).unwrap();
+        let cba = rows.iter().find(|r| r.config.contains("CBA")).unwrap();
+        assert!(
+            rr.slowdown > cba.slowdown * 1.5,
+            "request-fair {} vs CBA {}",
+            rr.slowdown,
+            cba.slowdown
+        );
+    }
+
+    #[test]
+    fn sweep_cba_bounds_slowdown() {
+        let rows = fairness_sweep(&[2], &[5, 56], 2, 5);
+        let unbounded = rows
+            .iter()
+            .find(|r| !r.cba && r.contender_duration == 56)
+            .unwrap();
+        let bounded = rows
+            .iter()
+            .find(|r| r.cba && r.contender_duration == 56)
+            .unwrap();
+        assert!(unbounded.slowdown > bounded.slowdown);
+        // The credit filter bounds the slowdown even at an 11x request-
+        // length mismatch. The bound is ~2N, not N: the bus is
+        // non-preemptive, so each of the TuA's short recovery windows can
+        // admit one full MaxL contender transaction (see EXPERIMENTS.md).
+        assert!(
+            bounded.slowdown < 2.0 * 2.0 + 0.3,
+            "2-core CBA slowdown must stay under ~2N: {}",
+            bounded.slowdown
+        );
+        // Without CBA the slowdown scales with the duration ratio instead:
+        // 1 + 56/5 ≈ 12.
+        assert!(
+            unbounded.slowdown > 8.0,
+            "RR slowdown should scale with the ratio: {}",
+            unbounded.slowdown
+        );
+    }
+}

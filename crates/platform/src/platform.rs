@@ -1,0 +1,548 @@
+//! One deterministic platform run: assembly, cycle loop, result
+//! extraction.
+
+use crate::config::PlatformConfig;
+use cba::{CreditFilter, Mode};
+use cba_bus::{Bus, BusConfig, CompletedTransaction};
+use cba_cpu::{Contender, Core, FixedRequestTask, PeriodicContender};
+use cba_workloads::{EembcProfile, Streaming, SyntheticEembc};
+use sim_core::lfsr::LfsrBank;
+use sim_core::rng::SimRng;
+use sim_core::{CoreId, Cycle};
+
+/// What one core runs during a run.
+#[derive(Debug, Clone)]
+pub enum CoreLoad {
+    /// A synthetic benchmark profile through the full core + cache model.
+    Profile(EembcProfile),
+    /// A catalog benchmark by name (see [`cba_workloads::by_name`]).
+    Named(String),
+    /// The streaming workload (sequential always-missing loads).
+    Streaming {
+        /// Number of loads.
+        accesses: u64,
+    },
+    /// A saturating contender: always one `duration`-cycle request posted
+    /// (the WCET-mode contention generator; duration is clamped nowhere —
+    /// it must not exceed the platform MaxL).
+    Saturating {
+        /// Bus hold time per request.
+        duration: u32,
+    },
+    /// A periodic co-runner.
+    Periodic {
+        /// Bus hold time per request.
+        duration: u32,
+        /// Issue period in cycles.
+        period: Cycle,
+        /// First issue cycle.
+        phase: Cycle,
+    },
+    /// A fixed-request task (exact request stream, no cache model).
+    FixedTask {
+        /// Number of requests.
+        n_requests: u64,
+        /// Bus hold time per request.
+        duration: u32,
+        /// Compute cycles before each request.
+        gap: u32,
+    },
+    /// Nothing runs on this core.
+    Idle,
+}
+
+impl CoreLoad {
+    /// Convenience constructor for a catalog benchmark.
+    pub fn named(name: &str) -> Self {
+        CoreLoad::Named(name.to_string())
+    }
+
+    /// Whether this load finishes on its own.
+    pub fn is_finite(&self) -> bool {
+        !matches!(self, CoreLoad::Saturating { .. } | CoreLoad::Periodic { .. })
+    }
+}
+
+/// Workload placement patterns for the paper's experiments.
+#[derive(Debug, Clone)]
+pub enum Scenario {
+    /// The task under analysis runs alone.
+    Isolation,
+    /// WCET-estimation maximum contention: every other core is a
+    /// saturating MaxL contender (gated by `COMP` when a CBA filter is
+    /// present and the spec enables WCET mode).
+    MaxContention,
+    /// Explicit loads for cores `1..n`.
+    Custom(Vec<CoreLoad>),
+}
+
+/// When the run loop stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Stop when core 0 (the TuA) finishes.
+    TuaDone,
+    /// Stop when every finite load finishes.
+    AllDone,
+    /// Run exactly this many cycles (for share/fairness measurements).
+    Horizon(Cycle),
+}
+
+/// Full specification of one run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Platform assembly.
+    pub platform: PlatformConfig,
+    /// Per-core loads (`loads[0]` is the TuA).
+    pub loads: Vec<CoreLoad>,
+    /// Put the credit filter in WCET-estimation mode (TuA budget starts at
+    /// zero; contenders gated by the latched `COMP` bits). Ignored when the
+    /// platform has no CBA filter.
+    pub wcet_mode: bool,
+    /// Stop condition.
+    pub stop: StopCondition,
+    /// Hard safety limit on simulated cycles.
+    pub max_cycles: Cycle,
+    /// Record the full grant trace (burst/starvation metrics).
+    pub record_trace: bool,
+}
+
+impl RunSpec {
+    /// The paper's canonical specs: `tua` on core 0 of the 4-core paper
+    /// platform under `setup`, with the scenario's co-runners.
+    pub fn paper(setup: crate::BusSetup, scenario: Scenario, tua: CoreLoad) -> Self {
+        let platform = PlatformConfig::paper(&setup);
+        Self::with_platform(platform, scenario, tua)
+    }
+
+    /// Like [`RunSpec::paper`] with an explicit platform configuration.
+    pub fn with_platform(
+        platform: PlatformConfig,
+        scenario: Scenario,
+        tua: CoreLoad,
+    ) -> Self {
+        let n = platform.n_cores;
+        let maxl = platform.latency.max_latency();
+        let mut loads = Vec::with_capacity(n);
+        loads.push(tua);
+        match &scenario {
+            Scenario::Isolation => loads.extend((1..n).map(|_| CoreLoad::Idle)),
+            Scenario::MaxContention => {
+                loads.extend((1..n).map(|_| CoreLoad::Saturating { duration: maxl }))
+            }
+            Scenario::Custom(rest) => loads.extend(rest.iter().cloned()),
+        }
+        RunSpec {
+            platform,
+            loads,
+            wcet_mode: matches!(scenario, Scenario::MaxContention),
+            stop: StopCondition::TuaDone,
+            max_cycles: 50_000_000,
+            record_trace: false,
+        }
+    }
+
+    /// Validates the spec (load count, stop-condition finiteness).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.loads.len() != self.platform.n_cores {
+            return Err(format!(
+                "expected {} loads, got {}",
+                self.platform.n_cores,
+                self.loads.len()
+            ));
+        }
+        match self.stop {
+            StopCondition::TuaDone => {
+                if !self.loads[0].is_finite() {
+                    return Err("TuaDone requires a finite load on core 0".into());
+                }
+            }
+            StopCondition::AllDone => {
+                if !self.loads.iter().all(CoreLoad::is_finite) {
+                    return Err("AllDone requires every load to be finite".into());
+                }
+            }
+            StopCondition::Horizon(h) => {
+                if h == 0 {
+                    return Err("horizon must be positive".into());
+                }
+            }
+        }
+        if let Some(cba) = &self.platform.cba {
+            if cba.n_cores() != self.platform.n_cores {
+                return Err(format!(
+                    "credit config sized for {} cores on a {}-core platform",
+                    cba.n_cores(),
+                    self.platform.n_cores
+                ));
+            }
+            if cba.max_latency() != self.platform.latency.max_latency() {
+                return Err("credit MaxL differs from the latency model's MaxL".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Core 0's completion cycle (None if it did not finish).
+    pub tua_cycles: Option<Cycle>,
+    /// Whether the stop condition was met within `max_cycles`.
+    pub finished: bool,
+    /// Cycles simulated.
+    pub total_cycles: Cycle,
+    /// Grants per core.
+    pub bus_slots: Vec<u64>,
+    /// Bus-busy cycles per core.
+    pub bus_busy: Vec<u64>,
+    /// Idle bus cycles.
+    pub bus_idle: u64,
+    /// Mean grant latency of core 0's requests.
+    pub tua_mean_wait: f64,
+    /// Worst grant latency of core 0's requests.
+    pub tua_max_wait: u64,
+    /// Per-core longest start-to-start grant gap (recording runs only).
+    pub max_grant_gap: Vec<Option<Cycle>>,
+    /// Per-core longest back-to-back grant burst (recording runs only).
+    pub max_burst: Vec<Option<u64>>,
+}
+
+impl RunResult {
+    /// Cycle share of `core` relative to the whole run (busy / total).
+    pub fn absolute_cycle_share(&self, core: usize) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy[core] as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Bus utilization (busy cycles / total).
+    pub fn utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy.iter().sum::<u64>() as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// One core's client in the run loop.
+enum Client {
+    Core(Box<Core>),
+    Saturating(Contender),
+    Periodic(PeriodicContender),
+    Fixed(FixedRequestTask),
+    Idle,
+}
+
+impl Client {
+    fn build(
+        load: &CoreLoad,
+        id: CoreId,
+        platform: &PlatformConfig,
+        rng: &mut SimRng,
+    ) -> Result<Client, String> {
+        let maxl = platform.latency.max_latency();
+        Ok(match load {
+            CoreLoad::Profile(profile) => Client::Core(Box::new(Core::with_store_buffer(
+                id,
+                Box::new(SyntheticEembc::new(profile.clone())),
+                &platform.hierarchy,
+                platform.latency,
+                platform.store_buffer,
+                rng,
+            ))),
+            CoreLoad::Named(name) => {
+                let program = cba_workloads::by_name(name)
+                    .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+                Client::Core(Box::new(Core::with_store_buffer(
+                    id,
+                    program,
+                    &platform.hierarchy,
+                    platform.latency,
+                    platform.store_buffer,
+                    rng,
+                )))
+            }
+            CoreLoad::Streaming { accesses } => Client::Core(Box::new(Core::with_store_buffer(
+                id,
+                Box::new(Streaming::new(*accesses)),
+                &platform.hierarchy,
+                platform.latency,
+                platform.store_buffer,
+                rng,
+            ))),
+            CoreLoad::Saturating { duration } => {
+                if *duration > maxl {
+                    return Err(format!("contender duration {duration} exceeds MaxL {maxl}"));
+                }
+                Client::Saturating(Contender::new(id, *duration))
+            }
+            CoreLoad::Periodic {
+                duration,
+                period,
+                phase,
+            } => Client::Periodic(PeriodicContender::new(id, *duration, *period, *phase)),
+            CoreLoad::FixedTask {
+                n_requests,
+                duration,
+                gap,
+            } => Client::Fixed(FixedRequestTask::new(id, *n_requests, *duration, *gap)),
+            CoreLoad::Idle => Client::Idle,
+        })
+    }
+
+    fn tick(&mut self, now: Cycle, completed: Option<&CompletedTransaction>, bus: &mut Bus) {
+        match self {
+            Client::Core(c) => c.tick(now, completed, bus),
+            Client::Saturating(c) => c.tick(now, completed, bus),
+            Client::Periodic(c) => c.tick(now, completed, bus),
+            Client::Fixed(c) => c.tick(now, completed, bus),
+            Client::Idle => {}
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            Client::Core(c) => c.is_done(),
+            Client::Fixed(c) => c.is_done(),
+            Client::Idle => true,
+            Client::Saturating(_) | Client::Periodic(_) => false,
+        }
+    }
+
+    fn done_at(&self) -> Option<Cycle> {
+        match self {
+            Client::Core(c) => c.done_at(),
+            Client::Fixed(c) => c.done_at(),
+            _ => None,
+        }
+    }
+}
+
+/// Executes one run of `spec` under `seed`, fully deterministically.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`RunSpec::validate`] (specs are constructed
+/// programmatically; an invalid one is a harness bug, not an input error).
+pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
+    if let Err(why) = spec.validate() {
+        panic!("invalid run spec: {why}");
+    }
+    let platform = &spec.platform;
+    let n = platform.n_cores;
+    let maxl = platform.latency.max_latency();
+    let rng = SimRng::seed_from(seed);
+
+    // Bus with policy, filter and random source.
+    let mut bus = Bus::new(
+        BusConfig::new(n, maxl).expect("validated platform"),
+        platform.policy.build(n, maxl),
+    );
+    if let Some(credit) = &platform.cba {
+        let mode = if spec.wcet_mode {
+            Mode::WcetEstimation {
+                tua: CoreId::from_index(0),
+            }
+        } else {
+            Mode::Operation
+        };
+        bus.set_filter(Box::new(CreditFilter::with_mode(credit.clone(), mode)));
+    }
+    if platform.lfsr_randbank {
+        let bank_seed = rng.fork(0xA9).next_u64();
+        bus.set_random_source(Box::new(
+            LfsrBank::new(16, bank_seed).expect("valid width"),
+        ));
+    } else {
+        bus.set_random_source(Box::new(rng.fork(0xA9)));
+    }
+    if spec.record_trace {
+        bus.enable_recording_trace();
+    }
+
+    // Clients.
+    let mut clients: Vec<Client> = spec
+        .loads
+        .iter()
+        .enumerate()
+        .map(|(i, load)| {
+            let mut client_rng = rng.fork(0xC0 + i as u64);
+            Client::build(load, CoreId::from_index(i), platform, &mut client_rng)
+                .expect("validated loads")
+        })
+        .collect();
+
+    // Cycle loop.
+    let mut now: Cycle = 0;
+    let mut finished = false;
+    while now < spec.max_cycles {
+        let completed = bus.begin_cycle(now);
+        for client in clients.iter_mut() {
+            client.tick(now, completed.as_ref(), &mut bus);
+        }
+        bus.end_cycle(now);
+        now += 1;
+        let stop = match spec.stop {
+            StopCondition::TuaDone => clients[0].is_done(),
+            StopCondition::AllDone => clients.iter().all(Client::is_done),
+            StopCondition::Horizon(h) => now >= h,
+        };
+        if stop {
+            finished = true;
+            break;
+        }
+    }
+
+    let trace = bus.trace();
+    let ids: Vec<CoreId> = (0..n).map(CoreId::from_index).collect();
+    RunResult {
+        tua_cycles: clients[0].done_at(),
+        finished,
+        total_cycles: now,
+        bus_slots: ids.iter().map(|&c| trace.slots(c)).collect(),
+        bus_busy: ids.iter().map(|&c| trace.busy_cycles(c)).collect(),
+        bus_idle: bus.idle_cycles(),
+        tua_mean_wait: bus.wait_stats().mean_wait(ids[0]),
+        tua_max_wait: bus.wait_stats().max_wait(ids[0]),
+        max_grant_gap: ids.iter().map(|&c| trace.max_grant_gap(c)).collect(),
+        max_burst: ids.iter().map(|&c| trace.max_burst_len(c)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BusSetup;
+
+    #[test]
+    fn isolation_run_finishes_deterministically() {
+        let spec = RunSpec::paper(BusSetup::Rp, Scenario::Isolation, CoreLoad::named("rspeed"));
+        let a = run_once(&spec, 7);
+        let b = run_once(&spec, 7);
+        assert!(a.finished);
+        assert_eq!(a.tua_cycles, b.tua_cycles, "same seed, same cycles");
+        assert_eq!(a.bus_slots, b.bus_slots);
+        let c = run_once(&spec, 8);
+        assert_ne!(
+            a.tua_cycles, c.tua_cycles,
+            "different seeds should perturb the run (randomized caches)"
+        );
+    }
+
+    #[test]
+    fn contention_slows_the_tua_down() {
+        let iso = RunSpec::paper(BusSetup::Rp, Scenario::Isolation, CoreLoad::named("matrix"));
+        let con = RunSpec::paper(
+            BusSetup::Rp,
+            Scenario::MaxContention,
+            CoreLoad::named("matrix"),
+        );
+        let iso_t = run_once(&iso, 1).tua_cycles.unwrap();
+        let con_t = run_once(&con, 1).tua_cycles.unwrap();
+        assert!(
+            con_t > iso_t + iso_t / 2,
+            "contention must hurt: iso {iso_t}, con {con_t}"
+        );
+    }
+
+    #[test]
+    fn fixed_task_isolation_matches_analytic_time() {
+        let spec = RunSpec::paper(
+            BusSetup::Rp,
+            Scenario::Isolation,
+            CoreLoad::FixedTask {
+                n_requests: 100,
+                duration: 6,
+                gap: 4,
+            },
+        );
+        let r = run_once(&spec, 3);
+        assert_eq!(r.tua_cycles, Some(1_000));
+    }
+
+    #[test]
+    fn horizon_runs_exactly_that_long() {
+        let mut spec = RunSpec::paper(
+            BusSetup::Rp,
+            Scenario::MaxContention,
+            CoreLoad::FixedTask {
+                n_requests: 1,
+                duration: 5,
+                gap: 0,
+            },
+        );
+        spec.loads[0] = CoreLoad::Saturating { duration: 5 };
+        spec.stop = StopCondition::Horizon(10_000);
+        let r = run_once(&spec, 1);
+        assert!(r.finished);
+        assert_eq!(r.total_cycles, 10_000);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut spec =
+            RunSpec::paper(BusSetup::Rp, Scenario::Isolation, CoreLoad::named("rspeed"));
+        spec.loads.pop();
+        assert!(spec.validate().is_err());
+
+        let mut spec = RunSpec::paper(
+            BusSetup::Rp,
+            Scenario::Isolation,
+            CoreLoad::Saturating { duration: 5 },
+        );
+        assert!(spec.validate().is_err(), "TuaDone with infinite TuA");
+        spec.stop = StopCondition::Horizon(100);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn unknown_benchmark_panics_with_context() {
+        let spec = RunSpec::paper(
+            BusSetup::Rp,
+            Scenario::Isolation,
+            CoreLoad::named("not-a-benchmark"),
+        );
+        let result = std::panic::catch_unwind(|| run_once(&spec, 0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn shares_accounting_consistent() {
+        let mut spec = RunSpec::paper(
+            BusSetup::Cba,
+            Scenario::MaxContention,
+            CoreLoad::named("matrix"),
+        );
+        spec.record_trace = true;
+        let r = run_once(&spec, 5);
+        assert!(r.finished);
+        let busy: u64 = r.bus_busy.iter().sum();
+        // Busy cycles are recorded at grant time for the full transaction,
+        // so a transaction in flight when the TuA finishes can overhang the
+        // simulated horizon by up to MaxL cycles.
+        assert!(busy + r.bus_idle >= r.total_cycles);
+        assert!(busy + r.bus_idle <= r.total_cycles + 56);
+        assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+        // Recording traces expose burst metrics.
+        assert!(r.max_burst.iter().any(|b| b.is_some()));
+    }
+
+    #[test]
+    fn lfsr_and_software_rng_both_work() {
+        for lfsr in [true, false] {
+            let mut spec =
+                RunSpec::paper(BusSetup::Rp, Scenario::MaxContention, CoreLoad::named("rspeed"));
+            spec.platform.lfsr_randbank = lfsr;
+            let r = run_once(&spec, 11);
+            assert!(r.finished, "lfsr={lfsr}");
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Model of the APRANDBANK hardware random-bit bank.
+//!
+//! The paper's FPGA prototype feeds its random-permutation arbiter from an
+//! "APRANDBANK module that delivers random bits every cycle", an IEC-61508
+//! SIL-3 compliant pseudo-random number generator (reference \[3\] of the
+//! paper: Agirre et al., DSD 2015). That design is a bank of maximal-length
+//! Galois LFSRs with online health monitoring; this module reproduces the
+//! structure: a [`LfsrBank`] of independent 32-bit Galois LFSRs, one bit per
+//! LFSR per cycle, plus the two health checks a safety-qualified PRNG must
+//! run (stuck-at detection and bit-balance monitoring).
+//!
+//! The arbiter consumes bits via [`LfsrBank::next_bits`]; a permutation draw
+//! for `N` cores consumes `N·log2(N)`-ish bits per arbitration round.
+
+use crate::SimError;
+
+/// Default polynomial: x^32 + x^22 + x^2 + x + 1 (maximal length, taps as a
+/// Galois feedback mask).
+pub const POLY_32_DEFAULT: u32 = 0x8020_0003;
+
+/// A single 32-bit Galois LFSR.
+///
+/// Shifts one bit per [`Lfsr::step`]; the output bit is the bit shifted out.
+/// With a maximal-length polynomial the period is `2^32 - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u32,
+    poly: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the given non-zero seed and feedback polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `seed == 0` (the all-zero
+    /// state is the one fixed point of an LFSR and must be excluded).
+    pub fn new(seed: u32, poly: u32) -> Result<Self, SimError> {
+        if seed == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "lfsr seed",
+                why: "seed must be non-zero (all-zero state is absorbing)".into(),
+            });
+        }
+        Ok(Lfsr { state: seed, poly })
+    }
+
+    /// Advances one cycle and returns the output bit.
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if out {
+            self.state ^= self.poly;
+        }
+        out
+    }
+
+    /// Current internal state (for health monitoring and tests).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+/// Health status reported by the bank's online monitors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LfsrHealth {
+    /// All monitors pass.
+    Ok,
+    /// An LFSR output has been constant for the whole observation window
+    /// (stuck-at fault — in hardware, a latch-up or routing fault).
+    StuckAt {
+        /// Index of the faulty LFSR within the bank.
+        lane: usize,
+    },
+    /// The ones-density of a lane left the `[0.5 - tol, 0.5 + tol]` band.
+    Imbalanced {
+        /// Index of the suspicious LFSR within the bank.
+        lane: usize,
+        /// Observed ones-density over the window.
+        density: f64,
+    },
+}
+
+/// A bank of independent Galois LFSRs delivering `width` random bits per
+/// cycle, with online health monitoring.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::lfsr::LfsrBank;
+///
+/// let mut bank = LfsrBank::new(8, 0xDEAD_BEEF).unwrap();
+/// let bits = bank.next_bits(); // 8 fresh bits, one per lane
+/// assert!(bits < 1 << 8);
+/// let word = bank.next_word(16); // 16 bits gathered over 2 cycles
+/// assert!(word < 1 << 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LfsrBank {
+    lanes: Vec<Lfsr>,
+    // Health monitoring state: per-lane ones count and window length.
+    window: u32,
+    ones: Vec<u32>,
+    transitions: Vec<u32>,
+    last_bit: Vec<bool>,
+    observed: u32,
+}
+
+impl LfsrBank {
+    /// Observation window (cycles) for the health monitors.
+    pub const HEALTH_WINDOW: u32 = 4096;
+
+    /// Creates a bank of `width` lanes seeded (non-zero, distinct) from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `width == 0` or
+    /// `width > 64`.
+    pub fn new(width: usize, seed: u64) -> Result<Self, SimError> {
+        if width == 0 || width > 64 {
+            return Err(SimError::InvalidConfig {
+                what: "lfsr bank width",
+                why: format!("width must be in 1..=64, got {width}"),
+            });
+        }
+        let mut lanes = Vec::with_capacity(width);
+        let mut s = seed;
+        for _ in 0..width {
+            // Derive distinct non-zero 32-bit seeds via splitmix-style mixing.
+            s = s
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let seed32 = ((s >> 32) as u32) | 1; // force non-zero
+            lanes.push(Lfsr::new(seed32, POLY_32_DEFAULT).expect("non-zero seed"));
+        }
+        Ok(LfsrBank {
+            ones: vec![0; width],
+            transitions: vec![0; width],
+            last_bit: vec![false; width],
+            lanes,
+            window: Self::HEALTH_WINDOW,
+            observed: 0,
+        })
+    }
+
+    /// Number of lanes (= bits delivered per cycle).
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Advances every lane one cycle and returns the fresh bits packed into
+    /// the low `width` bits of a `u64` (lane 0 is bit 0).
+    pub fn next_bits(&mut self) -> u64 {
+        let mut word = 0u64;
+        let first = self.observed == 0;
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            let bit = lane.step();
+            if bit {
+                word |= 1 << i;
+                self.ones[i] += 1;
+            }
+            if !first && bit != self.last_bit[i] {
+                self.transitions[i] += 1;
+            }
+            self.last_bit[i] = bit;
+        }
+        self.observed += 1;
+        if self.observed >= self.window {
+            // Monitors are evaluated lazily via `health`; reset the window.
+            self.observed = 0;
+            self.ones.iter_mut().for_each(|c| *c = 0);
+            self.transitions.iter_mut().for_each(|c| *c = 0);
+        }
+        word
+    }
+
+    /// Gathers `bits` random bits (over as many cycles as needed) into one
+    /// word, most-recent cycle in the high bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 64`.
+    pub fn next_word(&mut self, bits: u32) -> u64 {
+        assert!(bits >= 1 && bits <= 64, "bits must be in 1..=64");
+        let w = self.width() as u32;
+        let mut acc = 0u64;
+        let mut got = 0u32;
+        while got < bits {
+            let take = (bits - got).min(w);
+            let mask = if take >= 64 { u64::MAX } else { (1u64 << take) - 1 };
+            acc |= (self.next_bits() & mask) << got;
+            got += take;
+        }
+        acc
+    }
+
+    /// Uniform draw in `0..n` by rejection sampling on [`LfsrBank::next_word`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0)");
+        if n == 1 {
+            return 0;
+        }
+        let bits = 64 - (n - 1).leading_zeros();
+        loop {
+            let draw = self.next_word(bits);
+            if draw < n {
+                return draw;
+            }
+        }
+    }
+
+    /// Evaluates the health monitors over the bits observed in the current
+    /// window so far.
+    ///
+    /// Following the safety-PRNG design of the paper's reference \[3\], two
+    /// online checks run continuously: a stuck-at detector (no transitions in
+    /// the window once enough bits were observed) and a ones-density monitor.
+    pub fn health(&self) -> LfsrHealth {
+        // Need a minimum of observations before judging.
+        if self.observed < 256 {
+            return LfsrHealth::Ok;
+        }
+        for lane in 0..self.lanes.len() {
+            if self.transitions[lane] == 0 {
+                return LfsrHealth::StuckAt { lane };
+            }
+            let density = self.ones[lane] as f64 / self.observed as f64;
+            if !(0.40..=0.60).contains(&density) {
+                return LfsrHealth::Imbalanced { lane, density };
+            }
+        }
+        LfsrHealth::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_rejects_zero_seed() {
+        assert!(Lfsr::new(0, POLY_32_DEFAULT).is_err());
+    }
+
+    #[test]
+    fn lfsr_never_reaches_zero_state() {
+        let mut l = Lfsr::new(1, POLY_32_DEFAULT).unwrap();
+        for _ in 0..100_000 {
+            l.step();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn lfsr_period_is_not_short() {
+        // A maximal 32-bit LFSR must not return to its seed within any
+        // window we can afford to check.
+        let seed = 0xACE1_u32;
+        let mut l = Lfsr::new(seed, POLY_32_DEFAULT).unwrap();
+        for i in 0..200_000u32 {
+            l.step();
+            assert!(!(l.state() == seed && i < 199_999), "short period at {i}");
+        }
+    }
+
+    #[test]
+    fn bank_width_validation() {
+        assert!(LfsrBank::new(0, 1).is_err());
+        assert!(LfsrBank::new(65, 1).is_err());
+        assert!(LfsrBank::new(64, 1).is_ok());
+    }
+
+    #[test]
+    fn bank_bits_fit_width() {
+        let mut bank = LfsrBank::new(5, 42).unwrap();
+        for _ in 0..1000 {
+            assert!(bank.next_bits() < 32);
+        }
+    }
+
+    #[test]
+    fn bank_lanes_are_decorrelated() {
+        let mut bank = LfsrBank::new(2, 7).unwrap();
+        let mut equal = 0;
+        let n = 4096;
+        for _ in 0..n {
+            let w = bank.next_bits();
+            if (w & 1) == ((w >> 1) & 1) {
+                equal += 1;
+            }
+        }
+        let frac = equal as f64 / n as f64;
+        assert!(
+            (0.45..0.55).contains(&frac),
+            "lanes correlated: agreement {frac}"
+        );
+    }
+
+    #[test]
+    fn next_word_respects_bit_count() {
+        let mut bank = LfsrBank::new(4, 3).unwrap();
+        for bits in 1..=64u32 {
+            let w = bank.next_word(bits);
+            if bits < 64 {
+                assert!(w < 1u64 << bits, "word {w} too wide for {bits} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut bank = LfsrBank::new(8, 11).unwrap();
+        let mut seen = [false; 7];
+        for _ in 0..2000 {
+            let v = bank.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coverage: {seen:?}");
+    }
+
+    #[test]
+    fn health_ok_for_good_bank() {
+        let mut bank = LfsrBank::new(8, 1234).unwrap();
+        for _ in 0..2048 {
+            bank.next_bits();
+        }
+        assert_eq!(bank.health(), LfsrHealth::Ok);
+    }
+
+    #[test]
+    fn ones_density_is_balanced() {
+        let mut bank = LfsrBank::new(1, 99).unwrap();
+        let n = 32_768u32;
+        let mut ones = 0u32;
+        for _ in 0..n {
+            ones += (bank.next_bits() & 1) as u32;
+        }
+        let density = ones as f64 / n as f64;
+        assert!((0.48..0.52).contains(&density), "density {density}");
+    }
+}

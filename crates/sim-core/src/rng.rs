@@ -1,0 +1,271 @@
+//! Deterministic, forkable random-number streams.
+//!
+//! Every stochastic element of the simulator (cache placement seeds, random
+//! replacement, arbitration randomness, workload address streams) draws from
+//! a [`SimRng`]. A run is fully reproducible from its master seed; campaign
+//! runners fork one independent stream per run, and the platform forks one
+//! stream per component, so adding randomness to one component never perturbs
+//! another (a property the Monte-Carlo comparisons in the evaluation rely
+//! on).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 step, used to derive independent seeds from `(seed, tag)`.
+///
+/// SplitMix64 is the standard seed-sequence generator recommended for
+/// seeding xoshiro-family generators; consecutive or otherwise correlated
+/// inputs map to decorrelated outputs.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random stream with cheap independent forking.
+///
+/// Wraps [`rand::rngs::SmallRng`] (xoshiro256++ on 64-bit targets) and keeps
+/// the seed it was created from so that child streams can be derived with
+/// [`SimRng::fork`].
+///
+/// # Example
+///
+/// ```
+/// use sim_core::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+///
+/// let mut cache_rng = a.fork(1);
+/// let mut arb_rng = a.fork(2);
+/// assert_ne!(cache_rng.next_u64(), arb_rng.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `tag`.
+    ///
+    /// Forking is a pure function of `(seed, tag)`, so the child is stable
+    /// regardless of how much the parent stream has been consumed. Use
+    /// distinct tags for distinct components.
+    pub fn fork(&self, tag: u64) -> SimRng {
+        SimRng::seed_from(splitmix64(self.seed ^ splitmix64(tag ^ 0xa076_1d64_78bd_642f)))
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// Uniform draw from a `u64` range (`lo..hi`, `hi` exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform draw from a `usize` range (`lo..hi`, `hi` exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// A geometric-ish inter-arrival gap with mean `mean` (never zero if
+    /// `mean >= 1`), used by workload generators for compute gaps.
+    ///
+    /// Sampled as `1 + floor(-mean * ln(1 - u))` truncated at `32 * mean`,
+    /// giving an exponential-tailed positive integer with approximate mean
+    /// `mean` for `mean >= 1`.
+    pub fn gen_gap(&mut self, mean: f64) -> u32 {
+        if mean <= 1.0 {
+            return 1;
+        }
+        let u: f64 = self.inner.gen::<f64>();
+        let raw = -(mean - 0.5) * (1.0 - u).ln();
+        let cap = 32.0 * mean;
+        (1.0 + raw.min(cap)) as u32
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        // Standard Fisher-Yates; rand's SliceRandom would pull in an extra
+        // trait import at every call site for the same loop.
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks one element of a non-empty slice uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.inner.gen_range(0..slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_stable_wrt_parent_consumption() {
+        let mut a = SimRng::seed_from(99);
+        let fork_before = a.fork(5);
+        let _ = a.next_u64();
+        let _ = a.next_u64();
+        let fork_after = a.fork(5);
+        let mut x = fork_before;
+        let mut y = fork_after;
+        for _ in 0..16 {
+            assert_eq!(x.next_u64(), y.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_with_distinct_tags_decorrelate() {
+        let parent = SimRng::seed_from(7);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let matches = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = SimRng::seed_from(3);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range_usize(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SimRng::seed_from(4);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        // Out-of-domain p is clamped rather than panicking.
+        assert!((0..100).all(|_| rng.gen_bool(7.5)));
+    }
+
+    #[test]
+    fn gen_gap_mean_roughly_matches() {
+        let mut rng = SimRng::seed_from(5);
+        let n = 20_000;
+        let mean_target = 12.0;
+        let total: u64 = (0..n).map(|_| rng.gen_gap(mean_target) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - mean_target).abs() < 1.0,
+            "empirical mean {mean} too far from {mean_target}"
+        );
+    }
+
+    #[test]
+    fn gen_gap_is_at_least_one() {
+        let mut rng = SimRng::seed_from(6);
+        assert!((0..1000).all(|_| rng.gen_gap(0.0) >= 1));
+        assert!((0..1000).all(|_| rng.gen_gap(3.0) >= 1));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_produces_different_orders() {
+        let mut rng = SimRng::seed_from(9);
+        let mut v1: Vec<u32> = (0..20).collect();
+        let mut v2: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v1);
+        rng.shuffle(&mut v2);
+        assert_ne!(v1, v2, "two consecutive shuffles should differ");
+    }
+
+    #[test]
+    fn choose_uniformity_smoke() {
+        let mut rng = SimRng::seed_from(10);
+        let items = [0usize, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[*rng.choose(&items)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "counts skewed: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The streaming co-runner workload.
+
+use cba_cpu::{Op, Program};
+use cba_mem::MemAccess;
+use sim_core::rng::SimRng;
+
+/// A streaming application: sequential reads marching through a working
+/// set far larger than any cache, so essentially every access is a
+/// 28-cycle memory transaction.
+///
+/// This is the paper's Section-II co-runner archetype ("streaming
+/// applications issuing constantly read requests to memory that take 28
+/// cycles") in [`Program`] form — use
+/// [`Contender`](cba_cpu::Contender) instead when the co-runner should
+/// bypass the cache model entirely.
+#[derive(Debug, Clone)]
+pub struct Streaming {
+    accesses: u64,
+    remaining: u64,
+    ptr: u64,
+}
+
+/// Far beyond L1 + L2 partition: every line is touched once.
+const STREAM_BYTES: u64 = 1 << 30;
+const STREAM_BASE: u64 = 0x4000_0000;
+const LINE: u64 = 16;
+
+impl Streaming {
+    /// Creates a streamer issuing `accesses` sequential loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses == 0`.
+    pub fn new(accesses: u64) -> Self {
+        assert!(accesses > 0, "accesses must be positive");
+        Streaming {
+            accesses,
+            remaining: accesses,
+            ptr: 0,
+        }
+    }
+}
+
+impl Program for Streaming {
+    fn name(&self) -> &str {
+        "streaming"
+    }
+
+    fn next_op(&mut self, _rng: &mut SimRng) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let addr = STREAM_BASE + self.ptr;
+        self.ptr = (self.ptr + LINE) % STREAM_BYTES;
+        Some(Op::Access(MemAccess::load(addr)))
+    }
+
+    fn reset(&mut self, _rng: &mut SimRng) {
+        self.remaining = self.accesses;
+        self.ptr = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cba_bus::{Bus, BusConfig, PolicyKind};
+    use cba_cpu::Core;
+    use cba_mem::{HierarchyConfig, LatencyModel};
+    use sim_core::CoreId;
+
+    #[test]
+    fn every_access_misses() {
+        let mut rng = SimRng::seed_from(1);
+        let mut core = Core::new(
+            CoreId::from_index(0),
+            Box::new(Streaming::new(200)),
+            &HierarchyConfig::paper(),
+            LatencyModel::paper(),
+            &mut rng,
+        );
+        let mut bus = Bus::new(
+            BusConfig::new(1, 56).unwrap(),
+            PolicyKind::RoundRobin.build(1, 56),
+        );
+        let mut now = 0;
+        while !core.is_done() && now < 100_000 {
+            let done = bus.begin_cycle(now);
+            core.tick(now, done.as_ref(), &mut bus);
+            bus.end_cycle(now);
+            now += 1;
+        }
+        assert!(core.is_done());
+        let stats = core.memory().stats();
+        assert_eq!(stats.l1_hits, 0, "streaming never re-touches a line");
+        assert_eq!(stats.misses_clean + stats.misses_dirty, 200);
+        // Effectively saturating: ~29-30 cycles per 28-cycle transaction.
+        let per_access = core.done_at().unwrap() as f64 / 200.0;
+        assert!(per_access < 32.0, "{per_access} cycles per access");
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let mut s = Streaming::new(5);
+        let mut rng = SimRng::seed_from(0);
+        let mut count = 0;
+        while s.next_op(&mut rng).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5);
+        s.reset(&mut rng);
+        assert!(s.next_op(&mut rng).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_accesses_rejected() {
+        let _ = Streaming::new(0);
+    }
+}

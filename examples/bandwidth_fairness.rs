@@ -1,0 +1,68 @@
+//! The paper's Section I example, on the raw bus API: two cores that are
+//! granted alternately, one with 5-cycle and one with 45-cycle requests.
+//! Slot fairness gives each core 50% of the grants — and the short-request
+//! core 10% of the bandwidth. The credit filter fixes the bandwidth split.
+//!
+//! ```text
+//! cargo run --release --example bandwidth_fairness
+//! ```
+
+use cba::{CreditConfig, CreditFilter};
+use cba_bus::{Bus, BusConfig, BusRequest, PolicyKind, RequestKind};
+use sim_core::CoreId;
+
+fn run(with_cba: bool) -> (f64, f64, f64, f64) {
+    let maxl = 56;
+    let mut bus = Bus::new(
+        BusConfig::new(2, maxl).unwrap(),
+        PolicyKind::RoundRobin.build(2, maxl),
+    );
+    if with_cba {
+        bus.set_filter(Box::new(CreditFilter::new(
+            CreditConfig::homogeneous(2, maxl).unwrap(),
+        )));
+    }
+    let c0 = CoreId::from_index(0);
+    let c1 = CoreId::from_index(1);
+    let horizon = 200_000u64;
+    for now in 0..horizon {
+        bus.begin_cycle(now);
+        for (core, dur) in [(c0, 5u32), (c1, 45u32)] {
+            if !bus.has_pending(core) && bus.owner() != Some(core) {
+                bus.post(BusRequest::new(core, dur, RequestKind::Synthetic, now).unwrap())
+                    .unwrap();
+            }
+        }
+        bus.end_cycle(now);
+    }
+    let report = bus.trace().share_report();
+    (
+        report.slot_share(c0),
+        report.cycle_share(c0),
+        report.slot_fairness(),
+        report.cycle_fairness(),
+    )
+}
+
+fn main() {
+    println!("Two saturating cores, round-robin bus: 5-cycle vs 45-cycle requests\n");
+    println!(
+        "{:<18} {:>12} {:>13} {:>10} {:>11}",
+        "configuration", "slot share", "cycle share", "slot J", "cycle J"
+    );
+    for (label, with_cba) in [("RR (slot-fair)", false), ("RR + CBA", true)] {
+        let (slots, cycles, slot_j, cycle_j) = run(with_cba);
+        println!(
+            "{label:<18} {:>11.1}% {:>12.1}% {:>10.3} {:>11.3}",
+            100.0 * slots,
+            100.0 * cycles,
+            slot_j,
+            cycle_j
+        );
+    }
+    println!();
+    println!("shares shown for the short-request core; J = Jain fairness index.");
+    println!("Slot-fair arbitration gives it ~50% of grants but ~10% of bandwidth");
+    println!("(the paper's Section I numbers); the credit filter rebalances the");
+    println!("cycle shares by pinning the long-request core to its 1/2 entitlement.");
+}

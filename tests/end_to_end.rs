@@ -1,0 +1,118 @@
+//! End-to-end integration: the Figure-1 experiment pipeline at reduced
+//! scale, asserting the orderings the paper reports rather than absolute
+//! numbers.
+
+use cba_platform::experiments::{fig1, fig1_digest, Fig1Cell};
+use cba_workloads::{suite, EembcProfile};
+
+/// Scaled-down profile (fewer accesses) so the test stays fast while
+/// preserving the traffic shape.
+fn scaled(mut profile: EembcProfile, factor: u64) -> EembcProfile {
+    profile.accesses = (profile.accesses / factor).max(300);
+    profile
+}
+
+fn cell<'a>(cells: &'a [Fig1Cell], bench: &str, setup: &str, scen: &str) -> &'a Fig1Cell {
+    cells
+        .iter()
+        .find(|c| c.benchmark == bench && c.setup == setup && c.scenario == scen)
+        .expect("cell exists")
+}
+
+#[test]
+fn fig1_orderings_hold_for_bursty_benchmark() {
+    let profile = scaled(suite::matrix(), 4);
+    let cells = fig1(std::slice::from_ref(&profile), 8, 99);
+    assert_eq!(cells.len(), 6);
+
+    let rp_iso = cell(&cells, "matrix", "RP", "ISO").normalized;
+    let rp_con = cell(&cells, "matrix", "RP", "CON").normalized;
+    let cba_iso = cell(&cells, "matrix", "CBA", "ISO").normalized;
+    let cba_con = cell(&cells, "matrix", "CBA", "CON").normalized;
+    let hcba_iso = cell(&cells, "matrix", "H-CBA", "ISO").normalized;
+    let hcba_con = cell(&cells, "matrix", "H-CBA", "CON").normalized;
+
+    // The paper's Figure-1 orderings:
+    assert!((rp_iso - 1.0).abs() < 1e-9, "RP-ISO is the normalizer");
+    assert!(rp_con > 2.0, "slot-fair contention hurts a bursty task: {rp_con}");
+    assert!(rp_con < 4.0, "EEMBC does not saturate: slowdowns below 4x");
+    assert!(cba_con < rp_con * 0.75, "CBA substantially reduces contention");
+    assert!(hcba_con < cba_con, "H-CBA (TuA 50%) reduces it further");
+    assert!(
+        cba_iso < 1.10,
+        "CBA isolation overhead stays small: {cba_iso}"
+    );
+    assert!(
+        (hcba_iso - 1.0).abs() < 0.05,
+        "H-CBA isolation overhead negligible: {hcba_iso}"
+    );
+}
+
+#[test]
+fn fig1_sparse_benchmark_is_nearly_cba_insensitive() {
+    // tblook: "almost insensitive to the potential delays created by CBA
+    // since its bus requests barely occur consecutively".
+    let profile = scaled(suite::tblook(), 2);
+    let cells = fig1(std::slice::from_ref(&profile), 8, 7);
+    let rp_con = cell(&cells, "tblook", "RP", "CON").normalized;
+    let cba_con = cell(&cells, "tblook", "CBA", "CON").normalized;
+    let cba_iso = cell(&cells, "tblook", "CBA", "ISO").normalized;
+    assert!(
+        (cba_con - rp_con).abs() / rp_con < 0.25,
+        "sparse task: CBA-CON ({cba_con}) within 25% of RP-CON ({rp_con})"
+    );
+    assert!(cba_iso < 1.05, "sparse task: CBA barely stalls it in isolation");
+}
+
+#[test]
+fn fig1_digest_identifies_matrix_as_worst_rp_case() {
+    // At reduced scale, matrix (bursty, bus-bound) must still be the worst
+    // RP-CON case among a bursty/sparse pair — the paper's headline.
+    let profiles = vec![scaled(suite::matrix(), 4), scaled(suite::tblook(), 2)];
+    let cells = fig1(&profiles, 6, 5);
+    let digest = fig1_digest(&cells);
+    assert_eq!(digest.worst_rp_con.0, "matrix");
+    assert!(digest.worst_rp_con.1 > digest.worst_cba_con.1);
+    assert!(digest.hcba_iso_overhead.abs() < 0.05);
+}
+
+#[test]
+fn contention_never_speeds_up_any_setup() {
+    let profile = scaled(suite::canrdr(), 3);
+    let cells = fig1(std::slice::from_ref(&profile), 6, 11);
+    for setup in ["RP", "CBA", "H-CBA"] {
+        let iso = cell(&cells, "canrdr", setup, "ISO").mean_cycles;
+        let con = cell(&cells, "canrdr", setup, "CON").mean_cycles;
+        assert!(
+            con >= iso * 0.99,
+            "{setup}: contention cannot help (iso {iso}, con {con})"
+        );
+    }
+}
+
+#[test]
+fn cycle_entitlement_is_enforced_under_saturation() {
+    // Under CBA, no saturating contender may exceed its 1/N share of total
+    // cycles — the mechanism's core invariant, end to end.
+    use cba_platform::{run_once, BusSetup, CoreLoad, RunSpec, Scenario, StopCondition};
+    let mut spec = RunSpec::paper(
+        BusSetup::Cba,
+        Scenario::MaxContention,
+        CoreLoad::FixedTask {
+            n_requests: 1,
+            duration: 5,
+            gap: 0,
+        },
+    );
+    spec.loads[0] = CoreLoad::Saturating { duration: 5 };
+    spec.wcet_mode = false;
+    spec.stop = StopCondition::Horizon(100_000);
+    let r = run_once(&spec, 3);
+    for core in 0..4 {
+        let share = r.absolute_cycle_share(core);
+        assert!(
+            share <= 0.25 + 0.02,
+            "core {core} exceeded its entitlement: {share}"
+        );
+    }
+}

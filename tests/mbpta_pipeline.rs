@@ -1,0 +1,108 @@
+//! The MBPTA protocol end to end: WCET-estimation-mode campaigns through
+//! the full platform, iid checks, pWCET fitting, and the dominance
+//! property that makes the analysis sound.
+
+use cba_mbpta::pwcet::{block_maxima, MbptaConfig, PWcetModel};
+use cba_platform::experiments::pwcet_analysis;
+use cba_platform::{BusSetup, Campaign, CoreLoad, RunSpec, Scenario};
+use cba_workloads::suite;
+
+fn quick_profile() -> cba_workloads::EembcProfile {
+    let mut p = suite::rspeed();
+    p.accesses = 500;
+    p
+}
+
+#[test]
+fn wcet_mode_samples_are_iid_and_fit_a_gumbel() {
+    let analysis = pwcet_analysis(&quick_profile(), BusSetup::Cba, 150, 41)
+        .expect("analysis succeeds");
+    // Independent seeds + randomized caches/arbitration => iid samples.
+    assert!(
+        analysis.iid.passes(0.01),
+        "iid battery rejected: KS p={}, LB p={}, runs p={}",
+        analysis.iid.ks.p_value,
+        analysis.iid.ljung_box.p_value,
+        analysis.iid.runs.p_value
+    );
+    assert!(analysis.model.gumbel().beta > 0.0);
+}
+
+#[test]
+fn pwcet_bound_dominates_analysis_and_operation() {
+    let analysis =
+        pwcet_analysis(&quick_profile(), BusSetup::Cba, 120, 17).expect("analysis succeeds");
+    let bound = analysis.model.quantile_per_run(1e-12);
+    assert!(bound >= analysis.max_analysis, "bound must cover analysis max");
+    assert!(
+        bound >= analysis.max_operation,
+        "bound must cover deployment max ({} vs {})",
+        bound,
+        analysis.max_operation
+    );
+    // And the analysis-time contention is at least as bad as deployment.
+    assert!(analysis.max_analysis >= analysis.max_operation * 0.95);
+}
+
+#[test]
+fn pwcet_curve_grows_with_confidence() {
+    let analysis =
+        pwcet_analysis(&quick_profile(), BusSetup::Cba, 120, 23).expect("analysis succeeds");
+    let curve = analysis.model.curve(&[1e-3, 1e-6, 1e-9, 1e-12]);
+    for pair in curve.windows(2) {
+        assert!(pair[1].1 > pair[0].1, "curve must be monotone: {curve:?}");
+    }
+}
+
+#[test]
+fn wcet_mode_contention_dominates_lighter_contention() {
+    // The enforced maximum-contention scenario must produce longer
+    // execution times than a half-loaded deployment, run for run on
+    // average.
+    let profile = quick_profile();
+    let max_spec = RunSpec::paper(
+        BusSetup::Cba,
+        Scenario::MaxContention,
+        CoreLoad::Profile(profile.clone()),
+    );
+    // Staggered, moderate co-runners (synchronized periodic contenders
+    // would themselves be a near-worst-case volley pattern).
+    let light_contenders: Vec<CoreLoad> = (0..3)
+        .map(|i| CoreLoad::Periodic {
+            duration: 28,
+            period: 300,
+            phase: 100 * i as u64,
+        })
+        .collect();
+    let mut light_spec = RunSpec::paper(
+        BusSetup::Cba,
+        Scenario::Custom(light_contenders),
+        CoreLoad::Profile(profile),
+    );
+    light_spec.wcet_mode = false;
+    let max_mean = Campaign::new(max_spec, 30, 3).run().mean();
+    let light_mean = Campaign::new(light_spec, 30, 3).run().mean();
+    assert!(
+        max_mean >= light_mean,
+        "max contention ({max_mean}) must dominate light contention ({light_mean})"
+    );
+}
+
+#[test]
+fn block_maxima_pipeline_consistency() {
+    // Fitting on raw samples vs explicitly reduced maxima agrees.
+    let samples: Vec<f64> = (0..400)
+        .map(|i| 1_000.0 + ((i * 7919) % 163) as f64)
+        .collect();
+    let config = MbptaConfig {
+        block_size: 20,
+        min_samples: 100,
+        mle: false,
+    };
+    let model = PWcetModel::fit(&samples, config).expect("fit");
+    let maxima = block_maxima(&samples, 20);
+    assert_eq!(maxima.len(), 20);
+    let direct = cba_mbpta::gumbel::Gumbel::fit_moments(&maxima).expect("fit");
+    assert!((model.gumbel().mu - direct.mu).abs() < 1e-9);
+    assert!((model.gumbel().beta - direct.beta).abs() < 1e-9);
+}
