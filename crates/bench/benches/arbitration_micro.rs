@@ -4,8 +4,8 @@
 
 use cba::{CreditConfig, CreditFilter};
 use cba_bus::{
-    Bus, BusConfig, BusRequest, Candidate, EligibilityFilter, PendingSet, PolicyKind,
-    RandomSource, RequestKind,
+    drive, Bus, BusConfig, BusRequest, Candidate, Control, EligibilityFilter, PendingSet,
+    PolicyKind, RandomSource, RequestKind,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use sim_core::rng::SimRng;
@@ -69,8 +69,12 @@ fn bench_credit_filter(c: &mut Criterion) {
 }
 
 fn bench_bus_cycle(c: &mut Criterion) {
+    // Timed through the shared engine: each sample drives a saturated bus
+    // for CYCLES_PER_ITER cycles, so divide the reported time accordingly
+    // for the per-cycle cost.
+    const CYCLES_PER_ITER: u64 = 4096;
     let mut group = c.benchmark_group("bus_cycle");
-    for (label, with_cba) in [("rp", false), ("rp_cba", true)] {
+    for (label, with_cba) in [("rp_x4096", false), ("rp_cba_x4096", true)] {
         let mut bus = Bus::new(
             BusConfig::new(4, 56).unwrap(),
             PolicyKind::RandomPermutation.build(4, 56),
@@ -80,26 +84,32 @@ fn bench_bus_cycle(c: &mut Criterion) {
                 CreditConfig::homogeneous(4, 56).unwrap(),
             )));
         }
-        let mut now = 0u64;
         group.bench_function(label, |b| {
             b.iter(|| {
-                bus.begin_cycle(now);
-                for i in 0..4 {
-                    let core = CoreId::from_index(i);
-                    if !bus.has_pending(core) && bus.owner() != Some(core) {
-                        bus.post(
-                            BusRequest::new(core, 28, RequestKind::Contender, now).unwrap(),
-                        )
-                        .unwrap();
+                bus.reset();
+                let outcome = drive(&mut bus, CYCLES_PER_ITER, |bus, now, _completed| {
+                    for i in 0..4 {
+                        let core = CoreId::from_index(i);
+                        if !bus.has_pending(core) && bus.owner() != Some(core) {
+                            bus.post(
+                                BusRequest::new(core, 28, RequestKind::Contender, now).unwrap(),
+                            )
+                            .unwrap();
+                        }
                     }
-                }
-                black_box(bus.end_cycle(now));
-                now += 1;
+                    Control::Continue
+                });
+                black_box(outcome)
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_credit_filter, bench_bus_cycle);
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_credit_filter,
+    bench_bus_cycle
+);
 criterion_main!(benches);

@@ -8,10 +8,9 @@
 //! allocates bandwidth directly. This bench quantifies the difference for
 //! the favored short-request core.
 
-use cba::CreditConfig;
 use cba_bench::{print_row, rule, runs_from_env, seed_from_env};
 use cba_bus::policies::Lottery;
-use cba_bus::{Bus, BusConfig, BusRequest, PolicyKind, RequestKind};
+use cba_bus::{drive, Bus, BusConfig, BusRequest, Control, RequestKind};
 use cba_platform::{run_once, BusSetup, CoreLoad, RunSpec, Scenario, StopCondition};
 use sim_core::CoreId;
 
@@ -23,8 +22,7 @@ fn lottery_share(tickets: Vec<u32>, horizon: u64) -> f64 {
         BusConfig::new(4, 56).unwrap(),
         Box::new(Lottery::with_tickets(tickets).unwrap()),
     );
-    for now in 0..horizon {
-        bus.begin_cycle(now);
+    drive(&mut bus, horizon, |bus, now, _completed| {
         for i in 0..4 {
             let c = CoreId::from_index(i);
             if !bus.has_pending(c) && bus.owner() != Some(c) {
@@ -33,8 +31,8 @@ fn lottery_share(tickets: Vec<u32>, horizon: u64) -> f64 {
                     .unwrap();
             }
         }
-        bus.end_cycle(now);
-    }
+        Control::Continue
+    });
     bus.trace().busy_cycles(CoreId::from_index(0)) as f64 / horizon as f64
 }
 

@@ -9,8 +9,8 @@
 //! arbitration step is trivially cheap (the 1-cycle decision the paper
 //! reports corresponds to a handful of gate levels).
 
-use cba::{CreditConfig, CreditFilter, HardwareCost};
 use cba::cost::{PAPER_BASELINE_LUTS, STRATIX_IV_EP4SGX230_ALMS};
+use cba::{CreditConfig, CreditFilter, HardwareCost};
 use cba_bus::{Candidate, EligibilityFilter, PendingSet, PolicyKind, RandomSource};
 use sim_core::rng::SimRng;
 use sim_core::CoreId;
@@ -21,9 +21,18 @@ fn main() {
 
     println!("(a) hardware inventory added by CBA:");
     for (label, config) in [
-        ("CBA  (4 cores, MaxL=56)", CreditConfig::homogeneous(4, 56).unwrap()),
-        ("H-CBA (weights 3/1/1/1)", CreditConfig::paper_hcba(56).unwrap()),
-        ("CBA  (8 cores, MaxL=56)", CreditConfig::homogeneous(8, 56).unwrap()),
+        (
+            "CBA  (4 cores, MaxL=56)",
+            CreditConfig::homogeneous(4, 56).unwrap(),
+        ),
+        (
+            "H-CBA (weights 3/1/1/1)",
+            CreditConfig::paper_hcba(56).unwrap(),
+        ),
+        (
+            "CBA  (8 cores, MaxL=56)",
+            CreditConfig::homogeneous(8, 56).unwrap(),
+        ),
     ] {
         let cost = HardwareCost::of(&config);
         println!(

@@ -29,7 +29,11 @@ fn main() {
                     a.iid.ks.p_value,
                     a.iid.ljung_box.p_value,
                     a.iid.runs.p_value,
-                    if a.iid.passes(0.05) { "PASS" } else { "MARGINAL" }
+                    if a.iid.passes(0.05) {
+                        "PASS"
+                    } else {
+                        "MARGINAL"
+                    }
                 );
                 println!(
                     "  Gumbel fit (block maxima): mu={:.0}, beta={:.1}",
@@ -74,7 +78,12 @@ fn main() {
     // arbiters admit.
     println!("WCET-estimate comparison at 1e-12/run (lower is a tighter budget):");
     rule(58);
-    print_row(&[("benchmark", 10), ("RP pWCET", 14), ("CBA pWCET", 14), ("CBA/RP", 8)]);
+    print_row(&[
+        ("benchmark", 10),
+        ("RP pWCET", 14),
+        ("CBA pWCET", 14),
+        ("CBA/RP", 8),
+    ]);
     rule(58);
     for (bench, rp, cba) in &estimate_rows {
         print_row(&[

@@ -14,11 +14,7 @@ fn bench_run_once(c: &mut Criterion) {
             ("iso", Scenario::Isolation),
             ("con", Scenario::MaxContention),
         ] {
-            let spec = RunSpec::paper(
-                setup.clone(),
-                scenario.clone(),
-                CoreLoad::named("canrdr"),
-            );
+            let spec = RunSpec::paper(setup.clone(), scenario.clone(), CoreLoad::named("canrdr"));
             let mut seed = 0u64;
             group.bench_function(format!("canrdr_{label}_{scen_label}"), |b| {
                 b.iter(|| {

@@ -46,7 +46,10 @@ fn main() {
     println!();
     println!(
         "suite-wide worst RP-CON: {:.2}x on {}; worst CBA-CON: {:.2}x on {}",
-        digest.worst_rp_con.1, digest.worst_rp_con.0, digest.worst_cba_con.1, digest.worst_cba_con.0
+        digest.worst_rp_con.1,
+        digest.worst_rp_con.0,
+        digest.worst_cba_con.1,
+        digest.worst_cba_con.0
     );
     println!(
         "CBA reduces the CON slowdown for every benchmark: {}",

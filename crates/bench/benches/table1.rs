@@ -15,7 +15,10 @@ fn main() {
     let hcba = CreditConfig::paper_hcba(56).expect("paper constants");
     println!("{}", SignalTable::new(&hcba));
 
-    println!("counter width: {} bits (paper: \"8-bit budget counter\")", base.counter_bits());
+    println!(
+        "counter width: {} bits (paper: \"8-bit budget counter\")",
+        base.counter_bits()
+    );
     println!(
         "eligibility threshold: {} scaled units = MaxL x den = 56 x 4",
         base.scaled_threshold()

@@ -85,10 +85,7 @@ fn parse_cba(s: &str, n_cores: usize, maxl: u32) -> Option<CreditConfig> {
                 .map(|w| w.parse().unwrap_or_else(|_| usage("bad weight")))
                 .collect();
             let den = nums.iter().sum();
-            Some(
-                CreditConfig::weighted(maxl, nums, den)
-                    .unwrap_or_else(|e| usage(&e.to_string())),
-            )
+            Some(CreditConfig::weighted(maxl, nums, den).unwrap_or_else(|e| usage(&e.to_string())))
         }
     }
 }
@@ -119,9 +116,21 @@ fn main() {
             "--loads" => loads = Some(val("--loads")),
             "--scenario" => scenario = val("--scenario"),
             "--wcet" => wcet = true,
-            "--runs" => runs = val("--runs").parse().unwrap_or_else(|_| usage("bad --runs")),
-            "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
-            "--cores" => cores = val("--cores").parse().unwrap_or_else(|_| usage("bad --cores")),
+            "--runs" => {
+                runs = val("--runs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --runs"))
+            }
+            "--seed" => {
+                seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--cores" => {
+                cores = val("--cores")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --cores"))
+            }
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag '{other}'")),
         }
@@ -174,13 +183,20 @@ fn main() {
     let result = Campaign::new(spec, runs, seed).run();
     let s = result.summary();
     println!("runs       : {}", s.count());
-    println!("mean       : {:.1} cycles (±{:.1} at 95%)", s.mean(), s.ci95_half_width());
+    println!(
+        "mean       : {:.1} cycles (±{:.1} at 95%)",
+        s.mean(),
+        s.ci95_half_width()
+    );
     println!("min / max  : {:.0} / {:.0}", s.min(), s.max());
     println!("p50        : {:.0}", result.percentile(0.50));
     println!("p95        : {:.0}", result.percentile(0.95));
     println!("p99        : {:.0}", result.percentile(0.99));
     if result.unfinished() > 0 {
-        println!("unfinished : {} runs hit the cycle limit", result.unfinished());
+        println!(
+            "unfinished : {} runs hit the cycle limit",
+            result.unfinished()
+        );
     }
     // Bus-side view of the first run.
     let first = &result.results()[0];

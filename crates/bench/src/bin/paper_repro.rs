@@ -59,7 +59,10 @@ fn main() {
     // E3: illustrative example.
     println!("--- E3: Section II illustrative example ---");
     for r in illustrative((runs / 8).max(10), seed) {
-        println!("  {:<24} {:>8.0} cycles  {:>5.2}x", r.config, r.mean_cycles, r.slowdown);
+        println!(
+            "  {:<24} {:>8.0} cycles  {:>5.2}x",
+            r.config, r.mean_cycles, r.slowdown
+        );
     }
     println!("  paper analytic: request-fair 94,000 (9.4x); idealized cycle-fair 28,000 (2.8x)\n");
 

@@ -103,14 +103,9 @@ pub struct CompletedTransaction {
     pub duration: u32,
 }
 
-/// Combined result of [`Bus::tick`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct TickOutcome {
-    /// Transaction that completed at this cycle, if any.
-    pub completed: Option<CompletedTransaction>,
-    /// Core granted the bus at this cycle, if any.
-    pub granted: Option<CoreId>,
-}
+/// Combined result of one [`BusModel::tick`](sim_core::BusModel::tick) on a
+/// [`Bus`].
+pub type TickOutcome = sim_core::TickOutcome<CompletedTransaction>;
 
 /// Per-core request waiting-time statistics (request-ready to grant).
 #[derive(Debug, Clone, Default)]
@@ -348,7 +343,10 @@ impl Bus {
     pub fn begin_cycle(&mut self, now: Cycle) -> Option<CompletedTransaction> {
         assert!(!self.in_cycle, "begin_cycle called twice for one cycle");
         if let Some(last) = self.last_cycle {
-            assert!(now > last, "cycles must strictly increase ({last} -> {now})");
+            assert!(
+                now > last,
+                "cycles must strictly increase ({last} -> {now})"
+            );
         }
         self.in_cycle = true;
         self.last_cycle = Some(now);
@@ -379,47 +377,35 @@ impl Bus {
     /// Panics if called without a matching [`Bus::begin_cycle`].
     pub fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
         assert!(self.in_cycle, "end_cycle without begin_cycle");
-        assert_eq!(self.last_cycle, Some(now), "end_cycle for a different cycle");
+        assert_eq!(
+            self.last_cycle,
+            Some(now),
+            "end_cycle for a different cycle"
+        );
         self.in_cycle = false;
         self.total_cycles += 1;
 
         let mut granted = None;
         if matches!(self.state, BusState::Idle) {
+            // Privileged reservations (split-transaction response phases)
+            // are served FIFO ahead of arbitration; otherwise the filter
+            // and the policy pick among the pending requests.
             if let Some(req) = self.privileged.pop_front() {
-                self.state = BusState::Busy {
-                    owner: req.core(),
-                    started: now,
-                    ends_at: now + req.duration() as Cycle,
-                    kind: req.kind(),
-                };
-                self.trace.record(now, req.core(), req.duration());
-                self.wait.record(req.core(), now.saturating_sub(req.issued_at()));
-                self.filter.on_grant(req.core(), req.duration(), now);
-                let owner_now = self.owner();
-                self.filter.tick(now, owner_now, &self.pending);
-                self.total_cycles += 1;
-                self.in_cycle = false;
-                return Some(req.core());
-            }
-            self.pending.candidates_into(&mut self.scratch);
-            let filter = &self.filter;
-            self.scratch.retain(|c| filter.is_eligible(c.core, now));
-            if let Some(winner) = self.policy.select(&self.scratch, now, self.rng.as_mut()) {
-                let req = self
-                    .pending
-                    .remove(winner)
-                    .expect("policy selected a core that is not pending");
-                self.state = BusState::Busy {
-                    owner: winner,
-                    started: now,
-                    ends_at: now + req.duration() as Cycle,
-                    kind: req.kind(),
-                };
-                self.trace.record(now, winner, req.duration());
-                self.wait.record(winner, now.saturating_sub(req.issued_at()));
-                self.policy.on_grant(winner, now);
-                self.filter.on_grant(winner, req.duration(), now);
-                granted = Some(winner);
+                self.grant(req, now);
+                granted = Some(req.core());
+            } else {
+                self.pending.candidates_into(&mut self.scratch);
+                let filter = &self.filter;
+                self.scratch.retain(|c| filter.is_eligible(c.core, now));
+                if let Some(winner) = self.policy.select(&self.scratch, now, self.rng.as_mut()) {
+                    let req = self
+                        .pending
+                        .remove(winner)
+                        .expect("policy selected a core that is not pending");
+                    self.grant(req, now);
+                    self.policy.on_grant(winner, now);
+                    granted = Some(winner);
+                }
             }
         }
 
@@ -431,13 +417,25 @@ impl Bus {
         granted
     }
 
-    /// Convenience single-phase tick: [`begin_cycle`](Bus::begin_cycle)
-    /// immediately followed by [`end_cycle`](Bus::end_cycle); any posts must
-    /// happen between ticks.
+    /// Occupies the bus with `req` from cycle `now` and records the grant.
+    fn grant(&mut self, req: BusRequest, now: Cycle) {
+        self.state = BusState::Busy {
+            owner: req.core(),
+            started: now,
+            ends_at: now + req.duration() as Cycle,
+            kind: req.kind(),
+        };
+        self.trace.record(now, req.core(), req.duration());
+        self.wait
+            .record(req.core(), now.saturating_sub(req.issued_at()));
+        self.filter.on_grant(req.core(), req.duration(), now);
+    }
+
+    /// Convenience single-phase tick; see
+    /// [`BusModel::tick`](sim_core::BusModel::tick), of which this is the
+    /// inherent mirror so callers without the trait in scope keep working.
     pub fn tick(&mut self, now: Cycle) -> TickOutcome {
-        let completed = self.begin_cycle(now);
-        let granted = self.end_cycle(now);
-        TickOutcome { completed, granted }
+        sim_core::BusModel::tick(self, now)
     }
 
     /// Resets the bus (state, pending requests, statistics, policy and
@@ -462,6 +460,35 @@ impl Bus {
     }
 }
 
+/// The non-split bus speaks the workspace-wide cycle protocol directly:
+/// requests carry their own [`CoreId`], completions are
+/// [`CompletedTransaction`]s.
+impl sim_core::BusModel for Bus {
+    type Request = BusRequest;
+    type Completion = CompletedTransaction;
+    type Error = BusError;
+
+    fn begin_cycle(&mut self, now: Cycle) -> Option<CompletedTransaction> {
+        Bus::begin_cycle(self, now)
+    }
+
+    fn post(&mut self, req: BusRequest) -> Result<(), BusError> {
+        Bus::post(self, req)
+    }
+
+    fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+        Bus::end_cycle(self, now)
+    }
+
+    fn owner(&self) -> Option<CoreId> {
+        Bus::owner(self)
+    }
+
+    fn trace(&self) -> &GrantTrace {
+        Bus::trace(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,10 +504,7 @@ mod tests {
     }
 
     fn rr_bus(n: usize) -> Bus {
-        Bus::new(
-            BusConfig::new(n, 56).unwrap(),
-            Box::new(RoundRobin::new(n)),
-        )
+        Bus::new(BusConfig::new(n, 56).unwrap(), Box::new(RoundRobin::new(n)))
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod split;
 pub use bus::{Bus, BusConfig, BusState, CompletedTransaction, TickOutcome, WaitStats};
 pub use pending::{Candidate, PendingSet};
 pub use policy::{ArbitrationPolicy, EligibilityFilter, NoFilter, PolicyKind, RandomSource};
+pub use sim_core::{drive, BusModel, Control, DriveOutcome};
 
 use sim_core::{CoreId, Cycle};
 use std::fmt;

@@ -46,7 +46,7 @@ impl Lottery {
         if tickets.is_empty() {
             return Err("ticket vector must not be empty".into());
         }
-        if tickets.iter().any(|&t| t == 0) {
+        if tickets.contains(&0) {
             return Err("every core must hold at least one ticket".into());
         }
         Ok(Lottery {

@@ -58,7 +58,10 @@ mod tests {
     fn lowest_index_always_wins() {
         let mut p = FixedPriority::new();
         let mut rng = SimRng::seed_from(0);
-        assert_eq!(p.select(&cands(&[1, 2, 3]), 0, &mut rng).unwrap().index(), 1);
+        assert_eq!(
+            p.select(&cands(&[1, 2, 3]), 0, &mut rng).unwrap().index(),
+            1
+        );
         assert_eq!(p.select(&cands(&[0, 3]), 0, &mut rng).unwrap().index(), 0);
     }
 

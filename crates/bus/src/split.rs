@@ -87,9 +87,7 @@ impl SplitBusConfig {
             ));
         }
         if self.phase_cycles > self.max_latency {
-            return Err(BusError::InvalidConfig(
-                "phase cannot exceed MaxL".into(),
-            ));
+            return Err(BusError::InvalidConfig("phase cannot exceed MaxL".into()));
         }
         Ok(())
     }
@@ -212,43 +210,48 @@ impl SplitBus {
         self.states[core.index()] = match request {
             SplitRequest::Immediate { duration } => {
                 validate_duration(duration, self.config.max_latency)?;
-                self.pending_posts.push((core, duration, RequestKind::L2ReadHit, false));
+                self.pending_posts
+                    .push((core, duration, RequestKind::L2ReadHit, false));
                 CoreState::OnBus
             }
             SplitRequest::Atomic { duration } => {
                 validate_duration(duration, self.config.max_latency)?;
-                self.pending_posts.push((core, duration, RequestKind::Atomic, false));
+                self.pending_posts
+                    .push((core, duration, RequestKind::Atomic, false));
                 CoreState::OnBus
             }
             SplitRequest::Split => {
-                self.pending_posts
-                    .push((core, self.config.phase_cycles, RequestKind::L2MissClean, true));
+                self.pending_posts.push((
+                    core,
+                    self.config.phase_cycles,
+                    RequestKind::L2MissClean,
+                    true,
+                ));
                 CoreState::Command
             }
         };
         Ok(())
     }
 
-    /// Advances one cycle; returns the requests that fully completed.
-    pub fn tick(&mut self, now: Cycle) -> Vec<SplitCompletion> {
-        let mut completions = Vec::new();
+    /// Phase 1 of cycle `now`: reports the split request (if any) that
+    /// fully completed at `now`, advances the memory channel, and turns
+    /// finished memory accesses into privileged response-phase
+    /// reservations.
+    pub fn begin_cycle(&mut self, now: Cycle) -> Option<SplitCompletion> {
+        let mut completion = None;
 
-        // Phase 1: bus completion.
+        // Bus completion drives the per-core state machine.
         if let Some(done) = self.inner.begin_cycle(now) {
             let idx = done.core.index();
             match self.states[idx] {
-                CoreState::OnBus => {
+                CoreState::OnBus | CoreState::Response => {
                     self.states[idx] = CoreState::Idle;
-                    completions.push(SplitCompletion { core: done.core });
+                    completion = Some(SplitCompletion { core: done.core });
                 }
                 CoreState::Command => {
                     // Command phase finished: queue the memory access.
                     self.states[idx] = CoreState::Memory;
                     self.mem_queue.push_back(done.core);
-                }
-                CoreState::Response => {
-                    self.states[idx] = CoreState::Idle;
-                    completions.push(SplitCompletion { core: done.core });
                 }
                 CoreState::Memory | CoreState::Idle => {
                     unreachable!("bus completion for a core not on the bus")
@@ -265,10 +268,8 @@ impl SplitBus {
                 self.resp_queue.push_back(core);
             }
         }
-        if self.mem_done_at.is_none() {
-            if let Some(&_head) = self.mem_queue.front() {
-                self.mem_done_at = Some(now + self.config.mem_latency as Cycle);
-            }
+        if self.mem_done_at.is_none() && !self.mem_queue.is_empty() {
+            self.mem_done_at = Some(now + self.config.mem_latency as Cycle);
         }
 
         // Responses re-acquire the bus through the privileged port: they
@@ -290,16 +291,59 @@ impl SplitBus {
             self.states[core.index()] = CoreState::Response;
         }
 
-        // Post freshly-accepted requests.
-        let posts: Vec<_> = self.pending_posts.drain(..).collect();
+        completion
+    }
+
+    /// Phase 3 of cycle `now`: submits the requests accepted by
+    /// [`SplitBus::post`] since the last cycle and runs the underlying
+    /// bus's arbitration. Returns the core granted the bus at `now`, if
+    /// any.
+    pub fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+        let posts = std::mem::take(&mut self.pending_posts);
         for (core, duration, kind, _split) in posts {
             self.inner
                 .post(BusRequest::new(core, duration, kind, now).expect("validated duration"))
                 .expect("state machine enforces one outstanding request");
         }
+        self.inner.end_cycle(now)
+    }
 
-        self.inner.end_cycle(now);
-        completions
+    /// Convenience single-phase tick; see
+    /// [`BusModel::tick`](sim_core::BusModel::tick), of which this is the
+    /// inherent mirror so callers without the trait in scope keep working.
+    /// The returned outcome iterates over the completion, preserving the
+    /// `for c in bus.tick(now)` idiom.
+    pub fn tick(&mut self, now: Cycle) -> sim_core::TickOutcome<SplitCompletion> {
+        sim_core::BusModel::tick(self, now)
+    }
+}
+
+/// The split bus speaks the same cycle protocol as [`Bus`]; requests are
+/// addressed per core, so [`BusModel::post`](sim_core::BusModel::post)
+/// takes a `(core, request)` pair.
+impl sim_core::BusModel for SplitBus {
+    type Request = (CoreId, SplitRequest);
+    type Completion = SplitCompletion;
+    type Error = BusError;
+
+    fn begin_cycle(&mut self, now: Cycle) -> Option<SplitCompletion> {
+        SplitBus::begin_cycle(self, now)
+    }
+
+    fn post(&mut self, (core, request): (CoreId, SplitRequest)) -> Result<(), BusError> {
+        SplitBus::post(self, core, request)
+    }
+
+    fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+        SplitBus::end_cycle(self, now)
+    }
+
+    fn owner(&self) -> Option<CoreId> {
+        self.inner.owner()
+    }
+
+    fn trace(&self) -> &sim_core::trace::GrantTrace {
+        self.inner.trace()
     }
 }
 
@@ -324,11 +368,7 @@ mod tests {
     }
 
     fn mk() -> SplitBus {
-        SplitBus::new(
-            SplitBusConfig::paper(),
-            PolicyKind::RoundRobin.build(4, 56),
-        )
-        .unwrap()
+        SplitBus::new(SplitBusConfig::paper(), PolicyKind::RoundRobin.build(4, 56)).unwrap()
     }
 
     #[test]
@@ -365,8 +405,10 @@ mod tests {
     #[test]
     fn immediate_and_atomic_hold_end_to_end() {
         let mut bus = mk();
-        bus.post(c(0), SplitRequest::Immediate { duration: 5 }).unwrap();
-        bus.post(c(1), SplitRequest::Atomic { duration: 56 }).unwrap();
+        bus.post(c(0), SplitRequest::Immediate { duration: 5 })
+            .unwrap();
+        bus.post(c(1), SplitRequest::Atomic { duration: 56 })
+            .unwrap();
         for now in 0..200u64 {
             bus.tick(now);
         }
@@ -437,28 +479,27 @@ mod tests {
         }
         let mut bus = mk();
         bus.set_filter(Box::new(EveryOtherHundred));
-        bus.post(c(1), SplitRequest::Atomic { duration: 56 }).unwrap();
+        bus.post(c(1), SplitRequest::Atomic { duration: 56 })
+            .unwrap();
         // Posted at cycle 0 (eligible window), so it runs; repost in an
         // odd window and it must wait for the next even one.
         let mut completed_at = None;
         for now in 0..500u64 {
             if now == 130 && bus.is_idle(c(1)) {
-                bus.post(c(1), SplitRequest::Atomic { duration: 56 }).unwrap();
+                bus.post(c(1), SplitRequest::Atomic { duration: 56 })
+                    .unwrap();
             }
-            for comp in bus.tick(now) {
+            for _comp in bus.tick(now) {
                 if now > 130 {
                     completed_at = completed_at.or(Some(now));
                 }
             }
-            let _ = comp_guard(&bus);
         }
         let done = completed_at.expect("second atomic completes");
-        assert!(done >= 200 + 56, "filter must defer the grant to cycle 200+: {done}");
-    }
-
-    /// Borrow-shape helper (keeps the closure above simple).
-    fn comp_guard(_bus: &SplitBus) -> bool {
-        true
+        assert!(
+            done >= 200 + 56,
+            "filter must defer the grant to cycle 200+: {done}"
+        );
     }
 
     #[test]
@@ -471,11 +512,13 @@ mod tests {
         let mut short_done = 0u64;
         for now in 0..horizon {
             if bus.is_idle(c(0)) {
-                bus.post(c(0), SplitRequest::Immediate { duration: 5 }).unwrap();
+                bus.post(c(0), SplitRequest::Immediate { duration: 5 })
+                    .unwrap();
             }
             for i in 1..4 {
                 if bus.is_idle(c(i)) {
-                    bus.post(c(i), SplitRequest::Atomic { duration: 56 }).unwrap();
+                    bus.post(c(i), SplitRequest::Atomic { duration: 56 })
+                        .unwrap();
                 }
             }
             for comp in bus.tick(now) {
@@ -489,6 +532,9 @@ mod tests {
             share < 0.05,
             "short-request core must be starved by atomics: {share}"
         );
-        assert!(short_done > 0, "but not absolutely starved (RR is fair in slots)");
+        assert!(
+            short_done > 0,
+            "but not absolutely starved (RR is fair in slots)"
+        );
     }
 }

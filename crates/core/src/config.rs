@@ -118,7 +118,7 @@ impl CreditConfig {
     ) -> Result<Self, CbaError> {
         let n_cores = numerators.len();
         Self::validate_common(n_cores, max_latency)?;
-        if numerators.iter().any(|&n| n == 0) {
+        if numerators.contains(&0) {
             return Err(CbaError::InvalidConfig(
                 "every core must recover at least 1 budget unit per cycle \
                  (a zero weight starves the core permanently)"
@@ -188,7 +188,9 @@ impl CreditConfig {
             )));
         }
         if max_latency == 0 {
-            return Err(CbaError::InvalidConfig("max_latency must be positive".into()));
+            return Err(CbaError::InvalidConfig(
+                "max_latency must be positive".into(),
+            ));
         }
         Ok(())
     }

@@ -142,7 +142,10 @@ mod tests {
         // 336 cap needs 9 bits instead of 8.
         assert_eq!(hcba.counter_bits, 9);
         assert!(hcba.luts > base.luts);
-        assert!(hcba.luts < 2 * base.luts, "still the same order of magnitude");
+        assert!(
+            hcba.luts < 2 * base.luts,
+            "still the same order of magnitude"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl CreditCounter {
     /// construction path).
     pub fn new(num: u32, den: u32, cap: u64, initial: u64) -> Self {
         assert!(num > 0 && den > 0, "num and den must be positive");
-        assert!(num as u64 <= den as u64, "recovery cannot exceed drain rate");
+        assert!(
+            num as u64 <= den as u64,
+            "recovery cannot exceed drain rate"
+        );
         assert!(cap > 0, "cap must be positive");
         CreditCounter {
             value: initial.min(cap),
@@ -123,14 +126,18 @@ impl CreditCounter {
 
 impl fmt::Display for CreditCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} (+{}/-{})", self.value, self.cap, self.num, self.den)
+        write!(
+            f,
+            "{}/{} (+{}/-{})",
+            self.value, self.cap, self.num, self.den
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sim_core::rng::SimRng;
 
     #[test]
     fn paper_table_i_arithmetic() {
@@ -188,7 +195,7 @@ mod tests {
         let b = CreditCounter::new(1, 4, 224, 224);
         assert_eq!(b.cycles_to_reach(224), None);
         let b = CreditCounter::new(3, 6, 336, 100);
-        assert_eq!(b.cycles_to_reach(336), Some((336 - 100 + 2) / 3));
+        assert_eq!(b.cycles_to_reach(336), Some((336u64 - 100).div_ceil(3)));
     }
 
     #[test]
@@ -225,68 +232,70 @@ mod tests {
         assert_eq!(b.to_string(), "100/224 (+1/-4)");
     }
 
-    proptest! {
-        /// Budget never leaves [0, cap] under arbitrary use patterns.
-        #[test]
-        fn budget_stays_in_range(
-            num in 1u32..8,
-            den_extra in 0u32..8,
-            maxl in 1u32..100,
-            initial in 0u64..100_000,
-            uses in proptest::collection::vec(any::<bool>(), 0..2000),
-        ) {
-            let den = num + den_extra;
+    // The following properties are exercised over deterministic families of
+    // random inputs (seed-driven, in place of proptest, which is not
+    // available offline); every case is reproducible from its seed.
+
+    /// Budget never leaves [0, cap] under arbitrary use patterns.
+    #[test]
+    fn budget_stays_in_range() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::seed_from(seed);
+            let num = rng.gen_range_u64(1..8) as u32;
+            let den = num + rng.gen_range_u64(0..8) as u32;
+            let maxl = rng.gen_range_u64(1..100) as u32;
+            let initial = rng.gen_range_u64(0..100_000);
             let cap = den as u64 * maxl as u64;
             let mut b = CreditCounter::new(num, den, cap, initial);
-            for using in uses {
-                b.tick(using);
-                prop_assert!(b.value() <= cap);
+            for _ in 0..rng.gen_range_usize(0..2000) {
+                b.tick(rng.gen_bool(0.5));
+                assert!(b.value() <= cap, "seed {seed}: {b}");
             }
         }
+    }
 
-        /// The credit conservation law: granted only when >= threshold and
-        /// holding <= MaxL cycles, the counter never actually hits the
-        /// zero-saturation guard.
-        #[test]
-        fn eligible_grants_never_underflow(
-            num in 1u32..4,
-            den_extra in 1u32..8,
-            maxl in 1u32..100,
-            seed in any::<u64>(),
-        ) {
-            let den = num + den_extra;
+    /// The credit conservation law: granted only when >= threshold and
+    /// holding <= MaxL cycles, the counter never actually hits the
+    /// zero-saturation guard.
+    #[test]
+    fn eligible_grants_never_underflow() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::seed_from(seed ^ 0xfeed);
+            let num = rng.gen_range_u64(1..4) as u32;
+            let den = num + rng.gen_range_u64(1..8) as u32;
+            let maxl = rng.gen_range_u64(1..100) as u32;
             let threshold = den as u64 * maxl as u64;
             let mut b = CreditCounter::new(num, den, threshold, threshold);
-            let mut state = seed;
             let mut hold = 0u32;
             for _ in 0..5000 {
                 if hold > 0 {
                     // Mid-transaction: drain must never need the saturation.
                     let before = b.value();
                     b.tick(true);
-                    prop_assert!(before + num as u64 >= den as u64,
-                        "drain would underflow: value {before}");
+                    assert!(
+                        before + num as u64 >= den as u64,
+                        "seed {seed}: drain would underflow: value {before}"
+                    );
+                    hold -= 1;
+                } else if b.is_at_least(threshold) && rng.gen_bool(1.0 / 3.0) {
+                    hold = rng.gen_range_u64(1..maxl as u64 + 1) as u32;
+                    b.tick(true);
                     hold -= 1;
                 } else {
-                    // xorshift to decide whether to start a transaction
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    if b.is_at_least(threshold) && state % 3 == 0 {
-                        hold = (state % maxl as u64) as u32 + 1; // 1..=MaxL
-                        b.tick(true);
-                        hold -= 1;
-                    } else {
-                        b.tick(false);
-                    }
+                    b.tick(false);
                 }
             }
         }
+    }
 
-        /// Long-run duty cycle of a saturating user is num/den.
-        #[test]
-        fn steady_state_duty_cycle(num in 1u32..4, den_extra in 1u32..6, maxl in 4u32..60) {
-            let den = num + den_extra;
+    /// Long-run duty cycle of a saturating user is num/den.
+    #[test]
+    fn steady_state_duty_cycle() {
+        for seed in 0..32u64 {
+            let mut rng = SimRng::seed_from(seed ^ 0xd00f);
+            let num = rng.gen_range_u64(1..4) as u32;
+            let den = num + rng.gen_range_u64(1..6) as u32;
+            let maxl = rng.gen_range_u64(4..60) as u32;
             let threshold = den as u64 * maxl as u64;
             let mut b = CreditCounter::new(num, den, threshold, threshold);
             let mut use_cycles = 0u64;
@@ -312,10 +321,14 @@ mod tests {
             let recovery = ((den - num) as u64 * l).div_ceil(num as u64);
             let exact = l as f64 / (l + recovery) as f64;
             let upper = num as f64 / den as f64;
-            prop_assert!(duty <= upper + 0.01,
-                "duty {duty} exceeds bandwidth fraction {upper}");
-            prop_assert!((duty - exact).abs() < 0.02,
-                "duty {duty} vs exact {exact} (num={num}, den={den}, maxl={maxl})");
+            assert!(
+                duty <= upper + 0.01,
+                "seed {seed}: duty {duty} exceeds bandwidth fraction {upper}"
+            );
+            assert!(
+                (duty - exact).abs() < 0.02,
+                "seed {seed}: duty {duty} vs exact {exact} (num={num}, den={den}, maxl={maxl})"
+            );
         }
     }
 }

@@ -315,7 +315,10 @@ mod tests {
         f.on_grant(c(0), 6, 224);
         // TuA eligibility is budget-based; on_grant must not latch anything
         // weird for it.
-        assert!(f.budget_full(c(0)), "budget drains during ticks, not at grant");
+        assert!(
+            f.budget_full(c(0)),
+            "budget drains during ticks, not at grant"
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@
 //!
 //! ```
 //! use cba::{CreditConfig, CreditFilter};
-//! use cba_bus::{Bus, BusConfig, BusRequest, RequestKind, PolicyKind};
+//! use cba_bus::{drive, Bus, BusConfig, BusRequest, Control, RequestKind, PolicyKind};
 //! use sim_core::CoreId;
 //!
 //! // The paper's platform: 4 cores, MaxL = 56, random permutations + CBA.
@@ -64,19 +64,20 @@
 //! let mut bus = Bus::new(BusConfig::new(4, 56)?, PolicyKind::RandomPermutation.build(4, 56));
 //! bus.set_filter(Box::new(CreditFilter::new(config)));
 //!
-//! // Core 0 saturates with short requests, cores 1-3 with long ones.
+//! // Core 0 saturates with short requests, cores 1-3 with long ones; the
+//! // workspace-wide engine owns the cycle loop.
 //! let total = 20_000u64;
-//! for now in 0..total {
-//!     bus.begin_cycle(now);
+//! drive(&mut bus, total, |bus, now, _completed| {
 //!     for i in 0..4 {
 //!         let c = CoreId::from_index(i);
 //!         if !bus.has_pending(c) && bus.owner() != Some(c) {
 //!             let dur = if i == 0 { 5 } else { 56 };
-//!             bus.post(BusRequest::new(c, dur, RequestKind::Synthetic, now)?)?;
+//!             bus.post(BusRequest::new(c, dur, RequestKind::Synthetic, now).unwrap())
+//!                 .unwrap();
 //!         }
 //!     }
-//!     bus.end_cycle(now);
-//! }
+//!     Control::Continue
+//! });
 //! // Each long-request core is pinned at <= 1/4 of *all* cycles (under a
 //! // slot-fair policy it would grab 56/173 = 32%), and the short-request
 //! // core's bandwidth roughly triples versus slot-fair round-robin

@@ -167,12 +167,15 @@ fn group_label(indices: &[usize]) -> String {
 
 impl fmt::Display for SignalTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "TABLE I. SUMMARY OF SIGNALS (generated from configuration)")?;
-        writeln!(f, "{:<12} {:<34} {}", "", "Every cycle", "When using bus")?;
+        writeln!(
+            f,
+            "TABLE I. SUMMARY OF SIGNALS (generated from configuration)"
+        )?;
+        writeln!(f, "{:<12} {:<34} When using bus", "", "Every cycle")?;
         for row in &self.budget_rows {
             writeln!(f, "{:<12} {:<34} {}", row.signal, row.first, row.second)?;
         }
-        writeln!(f, "{:<12} {:<34} {}", "", "WCET mode", "Operation mode")?;
+        writeln!(f, "{:<12} {:<34} Operation mode", "", "WCET mode")?;
         for row in &self.mode_rows {
             writeln!(f, "{:<12} {:<34} {}", row.signal, row.first, row.second)?;
         }

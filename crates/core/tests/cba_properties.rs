@@ -1,31 +1,44 @@
 //! Property-based tests of the credit mechanism wired to a real bus:
-//! entitlement enforcement and starvation freedom under randomized
-//! configurations and workloads.
+//! budget-cap safety, the steady-state bandwidth bound, entitlement
+//! enforcement and starvation freedom under randomized configurations and
+//! workloads.
+//!
+//! The workspace builds offline, so instead of `proptest` these properties
+//! are exercised over deterministic families of random inputs drawn from
+//! [`SimRng`]: every case is reproducible from its seed, and a failure
+//! message names the seed that produced it.
 
 use cba::{CreditConfig, CreditFilter, Mode};
-use cba_bus::{Bus, BusConfig, BusRequest, PolicyKind, RequestKind};
-use proptest::prelude::*;
+use cba_bus::{
+    drive, Bus, BusConfig, BusRequest, Control, EligibilityFilter, PendingSet, PolicyKind,
+    RequestKind,
+};
+use sim_core::rng::SimRng;
 use sim_core::CoreId;
 
+const MAXL: u32 = 56;
+
 /// Random weighted credit configuration for `n` cores.
-fn weights_strategy(n: usize) -> impl Strategy<Value = CreditConfig> {
-    proptest::collection::vec(1u32..5, n..=n).prop_map(move |nums| {
-        let den: u32 = nums.iter().sum();
-        CreditConfig::weighted(56, nums, den).expect("sums match by construction")
-    })
+fn random_weighted_config(n: usize, rng: &mut SimRng) -> CreditConfig {
+    let nums: Vec<u32> = (0..n).map(|_| rng.gen_range_u64(1..5) as u32).collect();
+    let den: u32 = nums.iter().sum();
+    CreditConfig::weighted(MAXL, nums, den).expect("sums match by construction")
+}
+
+/// Random per-core saturating request durations in `1..=MaxL`.
+fn random_durations(n: usize, rng: &mut SimRng) -> Vec<u32> {
+    (0..n)
+        .map(|_| rng.gen_range_u64(1..MAXL as u64 + 1) as u32)
+        .collect()
 }
 
 /// Saturates every core with `durations[i]`-cycle requests under the given
-/// filter for `horizon` cycles; returns per-core busy cycles.
-fn saturate(config: &CreditConfig, durations: &[u32], horizon: u64) -> Vec<u64> {
+/// filter for `horizon` cycles; returns the driven bus.
+fn saturate(config: &CreditConfig, policy: PolicyKind, durations: &[u32], horizon: u64) -> Bus {
     let n = durations.len();
-    let mut bus = Bus::new(
-        BusConfig::new(n, 56).unwrap(),
-        PolicyKind::RoundRobin.build(n, 56),
-    );
+    let mut bus = Bus::new(BusConfig::new(n, MAXL).unwrap(), policy.build(n, MAXL));
     bus.set_filter(Box::new(CreditFilter::new(config.clone())));
-    for now in 0..horizon {
-        bus.begin_cycle(now);
+    drive(&mut bus, horizon, |bus, now, _completed| {
         for (i, &d) in durations.iter().enumerate() {
             let c = CoreId::from_index(i);
             if !bus.has_pending(c) && bus.owner() != Some(c) {
@@ -33,77 +46,126 @@ fn saturate(config: &CreditConfig, durations: &[u32], horizon: u64) -> Vec<u64> 
                     .unwrap();
             }
         }
-        bus.end_cycle(now);
-    }
-    (0..n)
-        .map(|i| bus.trace().busy_cycles(CoreId::from_index(i)))
-        .collect()
+        Control::Continue
+    });
+    bus
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// CBA invariant 1: a core's budget register never exceeds its configured
+/// cap, whatever (randomized) sequence of holds and idle cycles it sees.
+#[test]
+fn budgets_never_exceed_the_configured_cap() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from(seed);
+        let config = random_weighted_config(4, &mut rng);
+        let mut filter = CreditFilter::new(config.clone());
+        let empty = PendingSet::new(4);
+        // Random owner sequence: bursts of one core holding, idle gaps.
+        let mut now = 0u64;
+        while now < 20_000 {
+            let owner = if rng.gen_bool(0.7) {
+                Some(CoreId::from_index(rng.gen_range_usize(0..4)))
+            } else {
+                None
+            };
+            let burst = rng.gen_range_u64(1..MAXL as u64 + 1);
+            for _ in 0..burst {
+                filter.tick(now, owner, &empty);
+                now += 1;
+                for core in CoreId::all(4) {
+                    assert!(
+                        filter.budget(core) <= config.scaled_cap(core),
+                        "seed {seed}, cycle {now}: {core} budget {} above cap {}",
+                        filter.budget(core),
+                        config.scaled_cap(core)
+                    );
+                }
+            }
+        }
+    }
+}
 
-    /// The entitlement law: under any weighted configuration and any
-    /// request-duration mix, no saturating core exceeds its `num/den`
-    /// share of total cycles (plus one in-flight transaction).
-    #[test]
-    fn no_core_exceeds_its_entitlement(
-        config in weights_strategy(4),
-        durations in proptest::collection::vec(1u32..=56, 4..=4),
-    ) {
+/// CBA invariant 2: in steady state no core's busy-cycle share exceeds
+/// `1/N + ε` under any baseline arbitration policy, for homogeneous CBA
+/// with saturating cores of any duration mix.
+#[test]
+fn steady_state_share_bounded_by_one_over_n() {
+    let n = 4;
+    let horizon = 60_000u64;
+    // ε: one full-budget burst at the start of the run plus one in-flight
+    // transaction can overhang the 1/N entitlement.
+    let epsilon = (2 * MAXL) as f64 / horizon as f64 + 0.005;
+    let config = CreditConfig::homogeneous(n, MAXL).unwrap();
+    for (case, seed) in (0..6u64).enumerate() {
+        let mut rng = SimRng::seed_from(1_000 + seed);
+        let durations = random_durations(n, &mut rng);
+        for kind in PolicyKind::ALL {
+            let bus = saturate(&config, kind, &durations, horizon);
+            for (i, &dur) in durations.iter().enumerate() {
+                let share = bus.trace().busy_cycles(CoreId::from_index(i)) as f64 / horizon as f64;
+                assert!(
+                    share <= 1.0 / n as f64 + epsilon,
+                    "case {case}, {}: core {i} (dur {dur}) took {share:.4} > 1/{n}+ε",
+                    kind.name(),
+                );
+            }
+        }
+    }
+}
+
+/// The entitlement law: under any weighted configuration and any
+/// request-duration mix, no saturating core exceeds its `num/den`
+/// share of total cycles (plus one in-flight transaction).
+#[test]
+fn no_core_exceeds_its_entitlement() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from(seed);
+        let config = random_weighted_config(4, &mut rng);
+        let durations = random_durations(4, &mut rng);
         let horizon = 60_000u64;
-        let busy = saturate(&config, &durations, horizon);
-        for (i, &b) in busy.iter().enumerate() {
+        let bus = saturate(&config, PolicyKind::RoundRobin, &durations, horizon);
+        for i in 0..4 {
             let core = CoreId::from_index(i);
+            let b = bus.trace().busy_cycles(core);
             let entitlement = config.bandwidth_fraction(core);
-            prop_assert!(
-                b as f64 <= entitlement * horizon as f64 + 56.0,
-                "core {i} used {b} of {horizon} cycles, entitlement {entitlement}"
+            assert!(
+                b as f64 <= entitlement * horizon as f64 + f64::from(MAXL),
+                "seed {seed}: core {i} used {b} of {horizon} cycles, entitlement {entitlement}"
             );
         }
     }
+}
 
-    /// Starvation freedom: every saturating core keeps receiving grants
-    /// (slot counts all positive) regardless of duration mix.
-    #[test]
-    fn every_core_keeps_being_served(
-        config in weights_strategy(4),
-        durations in proptest::collection::vec(1u32..=56, 4..=4),
-    ) {
-        let n = durations.len();
-        let mut bus = Bus::new(
-            BusConfig::new(n, 56).unwrap(),
-            PolicyKind::RoundRobin.build(n, 56),
-        );
-        bus.set_filter(Box::new(CreditFilter::new(config)));
-        for now in 0..60_000u64 {
-            bus.begin_cycle(now);
-            for (i, &d) in durations.iter().enumerate() {
-                let c = CoreId::from_index(i);
-                if !bus.has_pending(c) && bus.owner() != Some(c) {
-                    bus.post(BusRequest::new(c, d, RequestKind::Synthetic, now).unwrap())
-                        .unwrap();
-                }
-            }
-            bus.end_cycle(now);
-        }
-        for i in 0..n {
-            prop_assert!(
+/// Starvation freedom: every saturating core keeps receiving grants
+/// (slot counts all positive) regardless of duration mix.
+#[test]
+fn every_core_keeps_being_served() {
+    for seed in 100..132u64 {
+        let mut rng = SimRng::seed_from(seed);
+        let config = random_weighted_config(4, &mut rng);
+        let durations = random_durations(4, &mut rng);
+        let bus = saturate(&config, PolicyKind::RoundRobin, &durations, 60_000);
+        for i in 0..4 {
+            assert!(
                 bus.trace().slots(CoreId::from_index(i)) > 10,
-                "core {i} starved: {:?} slots",
+                "seed {seed}: core {i} starved: {:?} slots",
                 bus.trace().slots(CoreId::from_index(i))
             );
         }
     }
+}
 
-    /// WCET-estimation mode: the TuA's first grant never arrives before its
-    /// zero-started budget fills, for any weighted configuration.
-    #[test]
-    fn wcet_mode_first_tua_grant_respects_fill_time(config in weights_strategy(4)) {
+/// WCET-estimation mode: the TuA's first grant never arrives before its
+/// zero-started budget fills, for any weighted configuration.
+#[test]
+fn wcet_mode_first_tua_grant_respects_fill_time() {
+    for seed in 200..232u64 {
+        let mut rng = SimRng::seed_from(seed);
+        let config = random_weighted_config(4, &mut rng);
         let tua = CoreId::from_index(0);
         let mut bus = Bus::new(
-            BusConfig::new(4, 56).unwrap(),
-            PolicyKind::RoundRobin.build(4, 56),
+            BusConfig::new(4, MAXL).unwrap(),
+            PolicyKind::RoundRobin.build(4, MAXL),
         );
         let threshold = config.scaled_threshold();
         let num = config.numerator(tua) as u64;
@@ -116,8 +178,7 @@ proptest! {
         // TuA posts immediately and persistently; no contenders.
         let mut pending = false;
         let mut first_grant = None;
-        for now in 0..3 * fill {
-            let done = bus.begin_cycle(now);
+        drive(&mut bus, 3 * fill, |bus, now, done| {
             if let Some(ct) = done {
                 if ct.core == tua {
                     pending = false;
@@ -135,12 +196,12 @@ proptest! {
                     }
                 }
             }
-            bus.end_cycle(now);
-        }
+            Control::Continue
+        });
         let first = first_grant.expect("TuA granted within 3 fill times");
-        prop_assert!(
+        assert!(
             first >= fill - 1,
-            "first grant at {first}, budget fill needs {fill} cycles"
+            "seed {seed}: first grant at {first}, budget fill needs {fill} cycles"
         );
     }
 }

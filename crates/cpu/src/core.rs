@@ -370,7 +370,11 @@ mod tests {
         assert_eq!(bus.trace().total_slots(), 1);
         // Store executes in 1 cycle, compute 40: the 28-cycle cold-store
         // transaction fully overlaps, so total ≈ 42, way below 1 + 28 + 40.
-        assert!(core.done_at().unwrap() <= 44, "done at {:?}", core.done_at());
+        assert!(
+            core.done_at().unwrap() <= 44,
+            "done at {:?}",
+            core.done_at()
+        );
     }
 
     #[test]
@@ -401,7 +405,10 @@ mod tests {
         ];
         let (core, _bus, _) = run_solo(ops, 500);
         assert!(core.is_done());
-        assert!(core.stats().store_stall_cycles > 0, "expected SB-full stalls");
+        assert!(
+            core.stats().store_stall_cycles > 0,
+            "expected SB-full stalls"
+        );
         assert_eq!(core.stats().store_transactions, 4);
     }
 

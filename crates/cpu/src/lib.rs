@@ -65,7 +65,7 @@ pub mod program;
 pub mod store_buffer;
 
 pub use contender::{Contender, PeriodicContender};
-pub use fixed_task::FixedRequestTask;
 pub use core::{Core, CoreStats};
+pub use fixed_task::FixedRequestTask;
 pub use program::{Op, Program, ScriptProgram};
 pub use store_buffer::StoreBuffer;

@@ -116,7 +116,10 @@ impl Gumbel {
                 .iter()
                 .map(|&x| -(x - shift) / beta)
                 .fold(f64::NEG_INFINITY, f64::max);
-            let s: f64 = samples.iter().map(|&x| (-(x - shift) / beta - m).exp()).sum();
+            let s: f64 = samples
+                .iter()
+                .map(|&x| (-(x - shift) / beta - m).exp())
+                .sum();
             m + (s / n).ln()
         };
         let mu = shift - beta * log_mean_exp;
@@ -136,7 +139,11 @@ pub(crate) fn mean_sd(samples: &[f64]) -> Result<(f64, f64), MbptaError> {
     }
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<f64>() / n;
-    let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    let var = samples
+        .iter()
+        .map(|&x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (n - 1.0);
     if var <= 0.0 {
         return Err(MbptaError::DegenerateSamples(
             "zero variance (all samples equal)".into(),

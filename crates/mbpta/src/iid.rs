@@ -284,7 +284,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative() {
-        let x: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let rho = autocorrelations(&x, 2);
         assert!(rho[0] < -0.9);
         assert!(rho[1] > 0.9);

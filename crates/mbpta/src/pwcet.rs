@@ -55,7 +55,9 @@ impl PWcetModel {
     /// * fit errors from [`Gumbel`] for degenerate data.
     pub fn fit(samples: &[f64], config: MbptaConfig) -> Result<Self, MbptaError> {
         if config.block_size == 0 {
-            return Err(MbptaError::InvalidParameter("block_size must be positive".into()));
+            return Err(MbptaError::InvalidParameter(
+                "block_size must be positive".into(),
+            ));
         }
         if samples.len() < config.min_samples {
             return Err(MbptaError::TooFewSamples {
@@ -75,9 +77,7 @@ impl PWcetModel {
         } else {
             Gumbel::fit_moments(&maxima)?
         };
-        let max_observed = samples
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let max_observed = samples.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         Ok(PWcetModel {
             gumbel,
             block_size: config.block_size,
@@ -138,10 +138,7 @@ impl PWcetModel {
     /// # Errors
     ///
     /// Propagates fit and test errors.
-    pub fn analyze(
-        samples: &[f64],
-        config: MbptaConfig,
-    ) -> Result<(Self, IidReport), MbptaError> {
+    pub fn analyze(samples: &[f64], config: MbptaConfig) -> Result<(Self, IidReport), MbptaError> {
         let report = IidReport::analyze(samples)?;
         let model = Self::fit(samples, config)?;
         Ok((model, report))
@@ -208,10 +205,7 @@ mod tests {
         let ps = [1e-3, 1e-6, 1e-9, 1e-12, 1e-15];
         let curve = model.curve(&ps);
         for w in curve.windows(2) {
-            assert!(
-                w[1].1 > w[0].1,
-                "bound must grow as p shrinks: {curve:?}"
-            );
+            assert!(w[1].1 > w[0].1, "bound must grow as p shrinks: {curve:?}");
         }
     }
 
@@ -255,8 +249,10 @@ mod tests {
     #[test]
     fn fit_validation() {
         let samples = exec_times(1_000, 26);
-        let mut config = MbptaConfig::default();
-        config.block_size = 0;
+        let mut config = MbptaConfig {
+            block_size: 0,
+            ..Default::default()
+        };
         assert!(PWcetModel::fit(&samples, config).is_err());
         config = MbptaConfig::default();
         assert!(matches!(
@@ -278,6 +274,9 @@ mod tests {
         let model = PWcetModel::fit(&samples, MbptaConfig::default()).unwrap();
         let q16 = model.quantile_per_run(1e-16);
         let q15 = model.quantile_per_run(1e-15);
-        assert!(q16.is_finite() && q16 > q15, "ln1p path must keep resolution");
+        assert!(
+            q16.is_finite() && q16 > q15,
+            "ln1p path must keep resolution"
+        );
     }
 }

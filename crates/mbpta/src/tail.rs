@@ -117,11 +117,8 @@ mod tests {
         // For Exp(1): P(X > x) = e^-x, so x(p) = -ln p.
         for p in [1e-6, 1e-9, 1e-12] {
             let x = fit.quantile_per_run(p);
-            let expect = -(p as f64).ln();
-            assert!(
-                (x - expect).abs() / expect < 0.1,
-                "p={p}: {x} vs {expect}"
-            );
+            let expect = -p.ln();
+            assert!((x - expect).abs() / expect < 0.1, "p={p}: {x} vs {expect}");
         }
     }
 

@@ -269,8 +269,14 @@ mod tests {
     #[test]
     fn cold_load_misses_to_memory_then_hits_in_l1() {
         let (mut mem, mut rng) = mk(1);
-        assert_eq!(mem.access(MemAccess::load(0x1000), &mut rng), AccessOutcome::L2MissClean);
-        assert_eq!(mem.access(MemAccess::load(0x1000), &mut rng), AccessOutcome::L1Hit);
+        assert_eq!(
+            mem.access(MemAccess::load(0x1000), &mut rng),
+            AccessOutcome::L2MissClean
+        );
+        assert_eq!(
+            mem.access(MemAccess::load(0x1000), &mut rng),
+            AccessOutcome::L1Hit
+        );
     }
 
     #[test]
@@ -316,7 +322,10 @@ mod tests {
             mem.access(MemAccess::store(0x3000), &mut rng),
             AccessOutcome::L2MissClean
         );
-        assert!(mem.l2().contains(0x3000), "write-back L2 allocates on store");
+        assert!(
+            mem.l2().contains(0x3000),
+            "write-back L2 allocates on store"
+        );
         assert!(!mem.l1d().contains(0x3000), "write-through L1 does not");
     }
 
@@ -336,23 +345,35 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_dirty_miss, "dirty evictions must occur under store pressure");
+        assert!(
+            saw_dirty_miss,
+            "dirty evictions must occur under store pressure"
+        );
     }
 
     #[test]
     fn atomics_bypass_caches() {
         let (mut mem, mut rng) = mk(6);
         mem.access(MemAccess::load(0x4000), &mut rng);
-        assert_eq!(mem.access(MemAccess::atomic(0x4000), &mut rng), AccessOutcome::Atomic);
+        assert_eq!(
+            mem.access(MemAccess::atomic(0x4000), &mut rng),
+            AccessOutcome::Atomic
+        );
         // Twice in a row: still Atomic, never cached.
-        assert_eq!(mem.access(MemAccess::atomic(0x4000), &mut rng), AccessOutcome::Atomic);
+        assert_eq!(
+            mem.access(MemAccess::atomic(0x4000), &mut rng),
+            AccessOutcome::Atomic
+        );
     }
 
     #[test]
     fn ifetch_uses_l1i_not_l1d() {
         let (mut mem, mut rng) = mk(7);
         mem.access(MemAccess::ifetch(0x5000), &mut rng);
-        assert_eq!(mem.access(MemAccess::ifetch(0x5000), &mut rng), AccessOutcome::L1Hit);
+        assert_eq!(
+            mem.access(MemAccess::ifetch(0x5000), &mut rng),
+            AccessOutcome::L1Hit
+        );
         // The same address through the data path still misses L1D (but hits
         // in the shared L2 partition).
         let out = mem.access(MemAccess::load(0x5000), &mut rng);
@@ -416,6 +437,9 @@ mod tests {
         mem.access(MemAccess::load(0x100), &mut rng);
         mem.reseed(&mut rng);
         assert_eq!(mem.stats().total(), 0);
-        assert_eq!(mem.access(MemAccess::load(0x100), &mut rng), AccessOutcome::L2MissClean);
+        assert_eq!(
+            mem.access(MemAccess::load(0x100), &mut rng),
+            AccessOutcome::L2MissClean
+        );
     }
 }

@@ -62,7 +62,7 @@ impl Campaign {
         } else {
             let next = std::sync::atomic::AtomicUsize::new(0);
             let spec = &self.spec;
-            let this = &*self;
+            let this = self;
             let slots = std::sync::Mutex::new(&mut results);
             std::thread::scope(|scope| {
                 for _ in 0..self.threads {

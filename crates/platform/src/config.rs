@@ -104,9 +104,9 @@ impl PlatformConfig {
             // Re-derive a homogeneous filter for n cores; heterogeneous
             // setups keep their explicit weights only when they match n.
             if c.n_cores() != n {
-                config.cba =
-                    Some(CreditConfig::homogeneous(n, config.latency.max_latency())
-                        .expect("valid n"));
+                config.cba = Some(
+                    CreditConfig::homogeneous(n, config.latency.max_latency()).expect("valid n"),
+                );
             }
         }
         config

@@ -44,11 +44,8 @@ pub fn fig1(benchmarks: &[EembcProfile], runs: usize, seed: u64) -> Vec<Fig1Cell
                 .into_iter()
                 .enumerate()
             {
-                let spec = RunSpec::paper(
-                    setup.clone(),
-                    scenario,
-                    CoreLoad::Profile(profile.clone()),
-                );
+                let spec =
+                    RunSpec::paper(setup.clone(), scenario, CoreLoad::Profile(profile.clone()));
                 let campaign_seed = seed ^ ((bi as u64) << 40 | (si as u64) << 20 | ci as u64);
                 let result = Campaign::new(spec, runs, campaign_seed).run();
                 let mean = result.mean();
@@ -103,7 +100,9 @@ pub fn fig1_digest(cells: &[Fig1Cell]) -> Fig1Digest {
             .unwrap_or_default()
     };
     let mean_overhead = |setup: &str| {
-        let overheads: Vec<f64> = pick(cells, setup, "ISO").map(|c| c.normalized - 1.0).collect();
+        let overheads: Vec<f64> = pick(cells, setup, "ISO")
+            .map(|c| c.normalized - 1.0)
+            .collect();
         if overheads.is_empty() {
             0.0
         } else {
@@ -164,25 +163,27 @@ pub fn illustrative(runs: usize, seed: u64) -> Vec<IllustrativeRow> {
         .map(|_| CoreLoad::Saturating { duration: 28 })
         .collect();
     let configs: Vec<(String, BusSetup)> = vec![
-        ("RR (request-fair)".into(), BusSetup::Custom {
-            policy: PolicyKind::RoundRobin,
-            cba: None,
-        }),
+        (
+            "RR (request-fair)".into(),
+            BusSetup::Custom {
+                policy: PolicyKind::RoundRobin,
+                cba: None,
+            },
+        ),
         ("RP (request-fair)".into(), BusSetup::Rp),
-        ("FIFO (request-fair)".into(), BusSetup::Custom {
-            policy: PolicyKind::Fifo,
-            cba: None,
-        }),
+        (
+            "FIFO (request-fair)".into(),
+            BusSetup::Custom {
+                policy: PolicyKind::Fifo,
+                cba: None,
+            },
+        ),
         ("RP + CBA (cycle-fair)".into(), BusSetup::Cba),
         ("RP + H-CBA (TuA 50%)".into(), BusSetup::HCba),
     ];
     let mut rows = Vec::new();
     for (i, (label, setup)) in configs.into_iter().enumerate() {
-        let mut spec = RunSpec::paper(
-            setup,
-            Scenario::Custom(contenders.clone()),
-            tua.clone(),
-        );
+        let mut spec = RunSpec::paper(setup, Scenario::Custom(contenders.clone()), tua.clone());
         // These are live streaming co-runners, not WCET-mode generators.
         spec.wcet_mode = false;
         let result = Campaign::new(spec, runs, seed ^ (i as u64) << 16).run();
@@ -230,8 +231,7 @@ pub fn fairness_sweep(
                 let mut platform = PlatformConfig::paper_n_cores(
                     &BusSetup::Custom {
                         policy: PolicyKind::RoundRobin,
-                        cba: use_cba
-                            .then(|| CreditConfig::homogeneous(n, 56).expect("valid")),
+                        cba: use_cba.then(|| CreditConfig::homogeneous(n, 56).expect("valid")),
                     },
                     n,
                 );
@@ -239,11 +239,8 @@ pub fn fairness_sweep(
                 let contenders: Vec<CoreLoad> = (1..n)
                     .map(|_| CoreLoad::Saturating { duration: d })
                     .collect();
-                let mut spec = RunSpec::with_platform(
-                    platform,
-                    Scenario::Custom(contenders),
-                    tua.clone(),
-                );
+                let mut spec =
+                    RunSpec::with_platform(platform, Scenario::Custom(contenders), tua.clone());
                 spec.wcet_mode = false;
                 let result = Campaign::new(
                     spec,
@@ -341,10 +338,7 @@ pub fn ablation_hcba(runs: usize, seed: u64) -> Vec<AblationRow> {
             if let Some(b) = r.max_burst[0] {
                 burst += b as f64;
             }
-            let worst_gap = (1..4)
-                .filter_map(|c| r.max_grant_gap[c])
-                .max()
-                .unwrap_or(0);
+            let worst_gap = (1..4).filter_map(|c| r.max_grant_gap[c]).max().unwrap_or(0);
             gap += worst_gap as f64;
             counted += 1.0;
         }

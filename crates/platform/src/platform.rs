@@ -6,6 +6,7 @@ use cba::{CreditFilter, Mode};
 use cba_bus::{Bus, BusConfig, CompletedTransaction};
 use cba_cpu::{Contender, Core, FixedRequestTask, PeriodicContender};
 use cba_workloads::{EembcProfile, Streaming, SyntheticEembc};
+use sim_core::engine::{drive, Control};
 use sim_core::lfsr::LfsrBank;
 use sim_core::rng::SimRng;
 use sim_core::{CoreId, Cycle};
@@ -59,7 +60,10 @@ impl CoreLoad {
 
     /// Whether this load finishes on its own.
     pub fn is_finite(&self) -> bool {
-        !matches!(self, CoreLoad::Saturating { .. } | CoreLoad::Periodic { .. })
+        !matches!(
+            self,
+            CoreLoad::Saturating { .. } | CoreLoad::Periodic { .. }
+        )
     }
 }
 
@@ -115,11 +119,7 @@ impl RunSpec {
     }
 
     /// Like [`RunSpec::paper`] with an explicit platform configuration.
-    pub fn with_platform(
-        platform: PlatformConfig,
-        scenario: Scenario,
-        tua: CoreLoad,
-    ) -> Self {
+    pub fn with_platform(platform: PlatformConfig, scenario: Scenario, tua: CoreLoad) -> Self {
         let n = platform.n_cores;
         let maxl = platform.latency.max_latency();
         let mut loads = Vec::with_capacity(n);
@@ -358,9 +358,7 @@ pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
     }
     if platform.lfsr_randbank {
         let bank_seed = rng.fork(0xA9).next_u64();
-        bus.set_random_source(Box::new(
-            LfsrBank::new(16, bank_seed).expect("valid width"),
-        ));
+        bus.set_random_source(Box::new(LfsrBank::new(16, bank_seed).expect("valid width")));
     } else {
         bus.set_random_source(Box::new(rng.fork(0xA9)));
     }
@@ -380,26 +378,25 @@ pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
         })
         .collect();
 
-    // Cycle loop.
-    let mut now: Cycle = 0;
-    let mut finished = false;
-    while now < spec.max_cycles {
-        let completed = bus.begin_cycle(now);
+    // Cycle loop: the workspace-wide engine drives the bus; this closure
+    // only ticks the clients and evaluates the stop condition.
+    let outcome = drive(&mut bus, spec.max_cycles, |bus, now, completed| {
         for client in clients.iter_mut() {
-            client.tick(now, completed.as_ref(), &mut bus);
+            client.tick(now, completed, bus);
         }
-        bus.end_cycle(now);
-        now += 1;
         let stop = match spec.stop {
             StopCondition::TuaDone => clients[0].is_done(),
             StopCondition::AllDone => clients.iter().all(Client::is_done),
-            StopCondition::Horizon(h) => now >= h,
+            StopCondition::Horizon(h) => now + 1 >= h,
         };
         if stop {
-            finished = true;
-            break;
+            Control::Stop
+        } else {
+            Control::Continue
         }
-    }
+    });
+    let now = outcome.cycles;
+    let finished = outcome.stopped;
 
     let trace = bus.trace();
     let ids: Vec<CoreId> = (0..n).map(CoreId::from_index).collect();
@@ -488,8 +485,7 @@ mod tests {
 
     #[test]
     fn invalid_specs_rejected() {
-        let mut spec =
-            RunSpec::paper(BusSetup::Rp, Scenario::Isolation, CoreLoad::named("rspeed"));
+        let mut spec = RunSpec::paper(BusSetup::Rp, Scenario::Isolation, CoreLoad::named("rspeed"));
         spec.loads.pop();
         assert!(spec.validate().is_err());
 
@@ -538,8 +534,11 @@ mod tests {
     #[test]
     fn lfsr_and_software_rng_both_work() {
         for lfsr in [true, false] {
-            let mut spec =
-                RunSpec::paper(BusSetup::Rp, Scenario::MaxContention, CoreLoad::named("rspeed"));
+            let mut spec = RunSpec::paper(
+                BusSetup::Rp,
+                Scenario::MaxContention,
+                CoreLoad::named("rspeed"),
+            );
             spec.platform.lfsr_randbank = lfsr;
             let r = run_once(&spec, 11);
             assert!(r.finished, "lfsr={lfsr}");

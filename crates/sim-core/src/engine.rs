@@ -1,0 +1,347 @@
+//! The unified cycle-driving engine: one [`BusModel`] trait over every bus
+//! variant, and one [`drive`] loop shared by the platform, the benchmark
+//! harness and the examples.
+//!
+//! # Why
+//!
+//! The repository models two interconnect substrates — a non-split bus and
+//! a split-transaction bus — and historically each exposed its own cycle
+//! protocol (`tick(now)` versus `begin_cycle`/`end_cycle`), so every
+//! harness hand-rolled its own drive loop. `BusModel` fixes the protocol
+//! once:
+//!
+//! 1. [`BusModel::begin_cycle`]`(t)` — a transaction ending at `t`
+//!    completes and is reported;
+//! 2. clients post requests for cycle `t` via [`BusModel::post`];
+//! 3. [`BusModel::end_cycle`]`(t)` — arbitration runs if the bus is free
+//!    and per-cycle filter state (credit counters) advances.
+//!
+//! [`BusModel::tick`] bundles the phases for clients that post between
+//! cycles, and [`drive`] owns the `while` loop, the stop condition and the
+//! cycle counter, so a policy × filter × bus-variant scenario is expressed
+//! as *one closure* that posts traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::engine::{drive, BusModel, Control};
+//! use sim_core::trace::GrantTrace;
+//! use sim_core::{CoreId, Cycle};
+//!
+//! /// A one-core toy bus: every posted unit-length request is granted on
+//! /// the next free cycle.
+//! #[derive(Debug)]
+//! struct ToyBus {
+//!     trace: GrantTrace,
+//!     queue: u64,
+//!     busy: bool,
+//! }
+//!
+//! impl ToyBus {
+//!     fn new() -> Self {
+//!         ToyBus { trace: GrantTrace::counting(1), queue: 0, busy: false }
+//!     }
+//! }
+//!
+//! impl BusModel for ToyBus {
+//!     type Request = ();
+//!     type Completion = ();
+//!     type Error = ();
+//!
+//!     fn begin_cycle(&mut self, _now: Cycle) -> Option<()> {
+//!         self.busy.then(|| self.busy = false)
+//!     }
+//!     fn post(&mut self, _req: ()) -> Result<(), ()> {
+//!         self.queue += 1;
+//!         Ok(())
+//!     }
+//!     fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+//!         if !self.busy && self.queue > 0 {
+//!             self.queue -= 1;
+//!             self.busy = true;
+//!             self.trace.record(now, CoreId::from_index(0), 1);
+//!             return Some(CoreId::from_index(0));
+//!         }
+//!         None
+//!     }
+//!     fn owner(&self) -> Option<CoreId> {
+//!         self.busy.then(|| CoreId::from_index(0))
+//!     }
+//!     fn trace(&self) -> &GrantTrace {
+//!         &self.trace
+//!     }
+//! }
+//!
+//! let mut bus = ToyBus::new();
+//! let outcome = drive(&mut bus, 100, |bus, now, _completed| {
+//!     if now % 2 == 0 {
+//!         bus.post(()).unwrap();
+//!     }
+//!     Control::Continue
+//! });
+//! assert_eq!(outcome.cycles, 100);
+//! assert!(!outcome.stopped);
+//! assert_eq!(bus.trace().total_slots(), 50);
+//! ```
+
+use crate::trace::GrantTrace;
+use crate::{CoreId, Cycle};
+
+/// Combined result of one [`BusModel::tick`].
+///
+/// Iterating a `TickOutcome` yields the completion, if any, which keeps the
+/// `for completed in bus.tick(now) { .. }` idiom of the split bus working
+/// against the unified API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickOutcome<C> {
+    /// Transaction that completed at this cycle, if any.
+    pub completed: Option<C>,
+    /// Core granted the bus at this cycle, if any.
+    pub granted: Option<CoreId>,
+}
+
+impl<C> Default for TickOutcome<C> {
+    fn default() -> Self {
+        TickOutcome {
+            completed: None,
+            granted: None,
+        }
+    }
+}
+
+impl<C> IntoIterator for TickOutcome<C> {
+    type Item = C;
+    type IntoIter = std::option::IntoIter<C>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.completed.into_iter()
+    }
+}
+
+/// The cycle protocol shared by every bus variant.
+///
+/// Implementations advance in two phases per cycle so that a core whose
+/// transaction completes at cycle `t` can post its next request *within*
+/// cycle `t` and be re-arbitrated immediately (back-to-back transactions,
+/// as on hardware where the request lines are already raised when a
+/// transfer ends). See the [module documentation](self) for the full
+/// protocol and an end-to-end example.
+pub trait BusModel {
+    /// What clients post (a plain request, or `(core, request)` for buses
+    /// that address requests per core).
+    type Request;
+    /// The completion report of phase 1.
+    type Completion;
+    /// Rejection returned by [`BusModel::post`].
+    type Error: std::fmt::Debug;
+
+    /// Phase 1 of cycle `now`: reports a transaction ending at `now`.
+    fn begin_cycle(&mut self, now: Cycle) -> Option<Self::Completion>;
+
+    /// Phase 2 of cycle `now`: posts a request.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject malformed or duplicate requests.
+    fn post(&mut self, req: Self::Request) -> Result<(), Self::Error>;
+
+    /// Phase 3 of cycle `now`: arbitration (if the bus is free) and filter
+    /// bookkeeping. Returns the freshly granted core, if any.
+    fn end_cycle(&mut self, now: Cycle) -> Option<CoreId>;
+
+    /// The core currently holding the bus, if any.
+    fn owner(&self) -> Option<CoreId>;
+
+    /// The grant trace accumulated so far.
+    fn trace(&self) -> &GrantTrace;
+
+    /// Convenience single-phase tick: [`begin_cycle`](BusModel::begin_cycle)
+    /// immediately followed by [`end_cycle`](BusModel::end_cycle); any posts
+    /// must happen between ticks.
+    fn tick(&mut self, now: Cycle) -> TickOutcome<Self::Completion> {
+        let completed = self.begin_cycle(now);
+        let granted = self.end_cycle(now);
+        TickOutcome { completed, granted }
+    }
+}
+
+/// Per-cycle verdict returned by the [`drive`] callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep simulating.
+    Continue,
+    /// Stop after finishing the current cycle.
+    Stop,
+}
+
+/// Result of a [`drive`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveOutcome {
+    /// Cycles simulated (the loop ran cycles `0..cycles`).
+    pub cycles: Cycle,
+    /// Whether the callback requested the stop (`false` means the
+    /// `max_cycles` safety limit was hit first).
+    pub stopped: bool,
+}
+
+/// Drives `bus` for up to `max_cycles` cycles from cycle 0.
+///
+/// Each cycle, the engine runs phase 1 ([`BusModel::begin_cycle`]), hands
+/// the completion report to `cycle_fn` — which posts client traffic (phase
+/// 2) and decides whether to stop — then runs phase 3
+/// ([`BusModel::end_cycle`]). This is the *only* cycle loop in the
+/// workspace: the platform's `run_once`, the benchmark binaries and the
+/// examples all express their scenarios as `cycle_fn` closures.
+pub fn drive<M: BusModel>(
+    bus: &mut M,
+    max_cycles: Cycle,
+    mut cycle_fn: impl FnMut(&mut M, Cycle, Option<&M::Completion>) -> Control,
+) -> DriveOutcome {
+    let mut now: Cycle = 0;
+    while now < max_cycles {
+        let completed = bus.begin_cycle(now);
+        let control = cycle_fn(bus, now, completed.as_ref());
+        bus.end_cycle(now);
+        now += 1;
+        if control == Control::Stop {
+            return DriveOutcome {
+                cycles: now,
+                stopped: true,
+            };
+        }
+    }
+    DriveOutcome {
+        cycles: now,
+        stopped: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-crate model for engine tests.
+    #[derive(Debug)]
+    struct OneShot {
+        trace: GrantTrace,
+        pending: Option<u32>,
+        busy_until: Option<Cycle>,
+    }
+
+    impl OneShot {
+        fn new() -> Self {
+            OneShot {
+                trace: GrantTrace::counting(1),
+                pending: None,
+                busy_until: None,
+            }
+        }
+    }
+
+    impl BusModel for OneShot {
+        type Request = u32;
+        type Completion = Cycle;
+        type Error = &'static str;
+
+        fn begin_cycle(&mut self, now: Cycle) -> Option<Cycle> {
+            if self.busy_until == Some(now) {
+                self.busy_until = None;
+                return Some(now);
+            }
+            None
+        }
+
+        fn post(&mut self, req: u32) -> Result<(), &'static str> {
+            if self.pending.is_some() {
+                return Err("already pending");
+            }
+            self.pending = Some(req);
+            Ok(())
+        }
+
+        fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+            if self.busy_until.is_none() {
+                if let Some(dur) = self.pending.take() {
+                    self.busy_until = Some(now + dur as Cycle);
+                    self.trace.record(now, CoreId::from_index(0), dur);
+                    return Some(CoreId::from_index(0));
+                }
+            }
+            None
+        }
+
+        fn owner(&self) -> Option<CoreId> {
+            self.busy_until.map(|_| CoreId::from_index(0))
+        }
+
+        fn trace(&self) -> &GrantTrace {
+            &self.trace
+        }
+    }
+
+    #[test]
+    fn default_tick_bundles_phases() {
+        let mut bus = OneShot::new();
+        bus.post(3).unwrap();
+        let out = bus.tick(0);
+        assert_eq!(out.granted, Some(CoreId::from_index(0)));
+        assert_eq!(out.completed, None);
+        bus.tick(1);
+        bus.tick(2);
+        let out = bus.tick(3);
+        assert_eq!(out.completed, Some(3));
+        assert_eq!(bus.owner(), None);
+    }
+
+    #[test]
+    fn tick_outcome_iterates_completion() {
+        let none: TickOutcome<u32> = TickOutcome::default();
+        assert_eq!(none.into_iter().count(), 0);
+        let some = TickOutcome {
+            completed: Some(7u32),
+            granted: None,
+        };
+        assert_eq!(some.into_iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn drive_runs_to_horizon() {
+        let mut bus = OneShot::new();
+        let out = drive(&mut bus, 10, |bus, _now, _completed| {
+            if bus.owner().is_none() {
+                let _ = bus.post(2);
+            }
+            Control::Continue
+        });
+        assert_eq!(out.cycles, 10);
+        assert!(!out.stopped);
+        assert!(bus.trace().total_slots() >= 3);
+    }
+
+    #[test]
+    fn drive_stops_on_request() {
+        let mut bus = OneShot::new();
+        let mut completions = 0;
+        let out = drive(&mut bus, 1_000, |bus, _now, completed| {
+            if completed.is_some() {
+                completions += 1;
+                return Control::Stop;
+            }
+            if bus.owner().is_none() {
+                let _ = bus.post(5);
+            }
+            Control::Continue
+        });
+        assert!(out.stopped);
+        assert_eq!(completions, 1);
+        assert!(out.cycles < 1_000);
+    }
+
+    #[test]
+    fn drive_on_empty_horizon_is_a_no_op() {
+        let mut bus = OneShot::new();
+        let out = drive(&mut bus, 0, |_, _, _| Control::Continue);
+        assert_eq!(out.cycles, 0);
+        assert!(!out.stopped);
+    }
+}

@@ -183,13 +183,17 @@ impl LfsrBank {
     ///
     /// Panics if `bits == 0` or `bits > 64`.
     pub fn next_word(&mut self, bits: u32) -> u64 {
-        assert!(bits >= 1 && bits <= 64, "bits must be in 1..=64");
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
         let w = self.width() as u32;
         let mut acc = 0u64;
         let mut got = 0u32;
         while got < bits {
             let take = (bits - got).min(w);
-            let mask = if take >= 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             acc |= (self.next_bits() & mask) << got;
             got += take;
         }

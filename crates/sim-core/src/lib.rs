@@ -33,10 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod lfsr;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+
+pub use engine::{drive, BusModel, Control, DriveOutcome, TickOutcome};
 
 use std::fmt;
 

@@ -7,11 +7,14 @@
 //! stream per component, so adding randomness to one component never perturbs
 //! another (a property the Monte-Carlo comparisons in the evaluation rely
 //! on).
+//!
+//! The generator is a self-contained **xoshiro256++** (the algorithm behind
+//! `rand::rngs::SmallRng` on 64-bit targets) seeded through SplitMix64, so
+//! the crate carries no external dependencies and streams are stable across
+//! toolchains.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 step, used to derive independent seeds from `(seed, tag)`.
+/// SplitMix64 step, used to derive independent seeds from `(seed, tag)` and
+/// to expand a 64-bit seed into the 256-bit xoshiro state.
 ///
 /// SplitMix64 is the standard seed-sequence generator recommended for
 /// seeding xoshiro-family generators; consecutive or otherwise correlated
@@ -26,9 +29,8 @@ fn splitmix64(mut z: u64) -> u64 {
 
 /// A deterministic random stream with cheap independent forking.
 ///
-/// Wraps [`rand::rngs::SmallRng`] (xoshiro256++ on 64-bit targets) and keeps
-/// the seed it was created from so that child streams can be derived with
-/// [`SimRng::fork`].
+/// Implements xoshiro256++ directly and keeps the seed it was created from
+/// so that child streams can be derived with [`SimRng::fork`].
 ///
 /// # Example
 ///
@@ -46,16 +48,22 @@ fn splitmix64(mut z: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        // Expand through SplitMix64 exactly as xoshiro's authors recommend;
+        // one extra scramble round keeps seed 0 away from the all-zero
+        // state (which xoshiro cannot leave).
+        let mut s = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            s = splitmix64(s);
+            *slot = s;
         }
+        SimRng { seed, state }
     }
 
     /// The seed this stream was created from.
@@ -69,29 +77,54 @@ impl SimRng {
     /// regardless of how much the parent stream has been consumed. Use
     /// distinct tags for distinct components.
     pub fn fork(&self, tag: u64) -> SimRng {
-        SimRng::seed_from(splitmix64(self.seed ^ splitmix64(tag ^ 0xa076_1d64_78bd_642f)))
+        SimRng::seed_from(splitmix64(
+            self.seed ^ splitmix64(tag ^ 0xa076_1d64_78bd_642f),
+        ))
     }
 
-    /// Next 64 random bits.
+    /// Next 64 random bits (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Next 32 random bits.
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+        (self.next_u64() >> 32) as u32
     }
 
     /// Uniform draw from a `u64` range (`lo..hi`, `hi` exclusive).
+    ///
+    /// Uses Lemire-style rejection sampling, so every value of the range is
+    /// exactly equally likely.
     ///
     /// # Panics
     ///
     /// Panics if the range is empty.
     #[inline]
     pub fn gen_range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Rejection-sample the top multiple of `span` to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return range.start + v % span;
+            }
+        }
     }
 
     /// Uniform draw from a `usize` range (`lo..hi`, `hi` exclusive).
@@ -101,19 +134,20 @@ impl SimRng {
     /// Panics if the range is empty.
     #[inline]
     pub fn gen_range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
-        self.inner.gen_range(range)
+        self.gen_range_u64(range.start as u64..range.end as u64) as usize
     }
 
     /// A uniform draw in `[0, 1)`.
     #[inline]
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard uniform-double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
     #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.gen_f64() < p.clamp(0.0, 1.0)
     }
 
     /// A geometric-ish inter-arrival gap with mean `mean` (never zero if
@@ -126,7 +160,7 @@ impl SimRng {
         if mean <= 1.0 {
             return 1;
         }
-        let u: f64 = self.inner.gen::<f64>();
+        let u: f64 = self.gen_f64();
         let raw = -(mean - 0.5) * (1.0 - u).ln();
         let cap = 32.0 * mean;
         (1.0 + raw.min(cap)) as u32
@@ -134,10 +168,8 @@ impl SimRng {
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        // Standard Fisher-Yates; rand's SliceRandom would pull in an extra
-        // trait import at every call site for the same loop.
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.gen_range_usize(0..i + 1);
             slice.swap(i, j);
         }
     }
@@ -149,7 +181,7 @@ impl SimRng {
     /// Panics if the slice is empty.
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
         assert!(!slice.is_empty(), "choose on empty slice");
-        &slice[self.inner.gen_range(0..slice.len())]
+        &slice[self.gen_range_usize(0..slice.len())]
     }
 }
 
@@ -172,6 +204,14 @@ mod tests {
         let mut b = SimRng::seed_from(2);
         let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = SimRng::seed_from(0);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0));
+        assert_ne!(draws[0], draws[1]);
     }
 
     #[test]
@@ -205,6 +245,15 @@ mod tests {
             seen[rng.gen_range_usize(0..8)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..10_000 {
+            let u = rng.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 
     #[test]
@@ -267,5 +316,25 @@ mod tests {
         for &c in &counts {
             assert!((700..1300).contains(&c), "counts skewed: {counts:?}");
         }
+    }
+
+    #[test]
+    fn known_xoshiro_vector() {
+        // Reference sequence computed independently from the published
+        // xoshiro256++ algorithm with state expanded from seed 42 via the
+        // extra-scramble SplitMix64 chain documented in `seed_from`; pins
+        // the implementation so refactors cannot silently change every
+        // seed-driven stream in the workspace.
+        let mut rng = SimRng::seed_from(42);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                0x03f3_9b78_be22_447f,
+                0x1dd9_733d_5a18_0053,
+                0x0c89_a42c_7fa8_2e9c,
+                0xb4d8_ea93_4776_7e7d,
+            ]
+        );
     }
 }

@@ -267,10 +267,12 @@ impl Histogram {
     ///
     /// Returns an error if `lo >= hi` or `n_buckets == 0`.
     pub fn new(lo: f64, hi: f64, n_buckets: usize) -> Result<Self, crate::SimError> {
-        if !(lo < hi) || n_buckets == 0 {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) || n_buckets == 0 {
             return Err(crate::SimError::InvalidConfig {
                 what: "histogram",
-                why: format!("need lo < hi and n_buckets > 0 (got lo={lo}, hi={hi}, n={n_buckets})"),
+                why: format!(
+                    "need lo < hi and n_buckets > 0 (got lo={lo}, hi={hi}, n={n_buckets})"
+                ),
             });
         }
         Ok(Histogram {
@@ -338,7 +340,9 @@ mod tests {
 
     #[test]
     fn summary_matches_textbook_values() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.population_variance() - 4.0).abs() < 1e-12);

@@ -94,7 +94,11 @@ impl GrantTrace {
         }
         self.last_end = self.last_end.max(start + duration as Cycle);
         if let Some(records) = &mut self.records {
-            records.push(GrantRecord { start, core, duration });
+            records.push(GrantRecord {
+                start,
+                core,
+                duration,
+            });
         }
     }
 
@@ -288,7 +292,14 @@ mod tests {
         t.record(10, c(0), 2);
         let recs = t.records().unwrap();
         assert_eq!(recs.len(), 2);
-        assert_eq!(recs[0], GrantRecord { start: 3, core: c(1), duration: 7 });
+        assert_eq!(
+            recs[0],
+            GrantRecord {
+                start: 3,
+                core: c(1),
+                duration: 7
+            }
+        );
         assert_eq!(t.first_start(), Some(3));
         assert_eq!(t.last_end(), 12);
     }

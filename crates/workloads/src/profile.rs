@@ -412,7 +412,10 @@ mod tests {
             "too many out-of-bound runs: {runs:?}"
         );
         for &r in &runs[..runs.len() - 1] {
-            assert!((4..=12).contains(&r), "burst of {r} exceeds a merged pair: {runs:?}");
+            assert!(
+                (4..=12).contains(&r),
+                "burst of {r} exceeds a merged pair: {runs:?}"
+            );
         }
     }
 

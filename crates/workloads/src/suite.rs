@@ -192,7 +192,12 @@ mod tests {
     #[test]
     fn all_profiles_validate() {
         for p in all_profiles() {
-            assert!(p.validate().is_ok(), "{} invalid: {:?}", p.name, p.validate());
+            assert!(
+                p.validate().is_ok(),
+                "{} invalid: {:?}",
+                p.name,
+                p.validate()
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! ```
 
 use cba::{CreditConfig, CreditFilter};
-use cba_bus::{Bus, BusConfig, BusRequest, PolicyKind, RequestKind};
+use cba_bus::{drive, Bus, BusConfig, BusRequest, Control, PolicyKind, RequestKind};
 use sim_core::CoreId;
 
 fn run(with_cba: bool) -> (f64, f64, f64, f64) {
@@ -25,16 +25,15 @@ fn run(with_cba: bool) -> (f64, f64, f64, f64) {
     let c0 = CoreId::from_index(0);
     let c1 = CoreId::from_index(1);
     let horizon = 200_000u64;
-    for now in 0..horizon {
-        bus.begin_cycle(now);
+    drive(&mut bus, horizon, |bus, now, _completed| {
         for (core, dur) in [(c0, 5u32), (c1, 45u32)] {
             if !bus.has_pending(core) && bus.owner() != Some(core) {
                 bus.post(BusRequest::new(core, dur, RequestKind::Synthetic, now).unwrap())
                     .unwrap();
             }
         }
-        bus.end_cycle(now);
-    }
+        Control::Continue
+    });
     let report = bus.trace().share_report();
     (
         report.slot_share(c0),

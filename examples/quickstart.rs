@@ -18,7 +18,11 @@ fn main() {
             let label = format!(
                 "{}-{}",
                 setup.label(),
-                if matches!(scenario, Scenario::Isolation) { "ISO" } else { "CON" }
+                if matches!(scenario, Scenario::Isolation) {
+                    "ISO"
+                } else {
+                    "CON"
+                }
             );
             let spec = RunSpec::paper(setup.clone(), scenario, CoreLoad::named("matrix"));
             let mean = Campaign::new(spec, runs, 2017).run().mean();

@@ -18,8 +18,7 @@ fn main() {
         profile.name
     );
 
-    let analysis =
-        pwcet_analysis(&profile, BusSetup::Cba, runs, 2017).expect("analysis succeeds");
+    let analysis = pwcet_analysis(&profile, BusSetup::Cba, runs, 2017).expect("analysis succeeds");
 
     println!("1. iid applicability battery (needed before any EVT fit):");
     println!(
@@ -44,11 +43,17 @@ fn main() {
     );
 
     let g = analysis.model.gumbel();
-    println!("2. Gumbel fit on block maxima: mu = {:.0}, beta = {:.1}\n", g.mu, g.beta);
+    println!(
+        "2. Gumbel fit on block maxima: mu = {:.0}, beta = {:.1}\n",
+        g.mu, g.beta
+    );
 
     println!("3. pWCET curve (execution time exceeded with probability p per run):");
     for p in [1e-3, 1e-6, 1e-9, 1e-12, 1e-15] {
-        println!("   p = {p:>6.0e}  ->  {:>10.0} cycles", analysis.model.quantile_per_run(p));
+        println!(
+            "   p = {p:>6.0e}  ->  {:>10.0} cycles",
+            analysis.model.quantile_per_run(p)
+        );
     }
     println!();
 

@@ -34,9 +34,15 @@ fn fig1_orderings_hold_for_bursty_benchmark() {
 
     // The paper's Figure-1 orderings:
     assert!((rp_iso - 1.0).abs() < 1e-9, "RP-ISO is the normalizer");
-    assert!(rp_con > 2.0, "slot-fair contention hurts a bursty task: {rp_con}");
+    assert!(
+        rp_con > 2.0,
+        "slot-fair contention hurts a bursty task: {rp_con}"
+    );
     assert!(rp_con < 4.0, "EEMBC does not saturate: slowdowns below 4x");
-    assert!(cba_con < rp_con * 0.75, "CBA substantially reduces contention");
+    assert!(
+        cba_con < rp_con * 0.75,
+        "CBA substantially reduces contention"
+    );
     assert!(hcba_con < cba_con, "H-CBA (TuA 50%) reduces it further");
     assert!(
         cba_iso < 1.10,
@@ -61,7 +67,10 @@ fn fig1_sparse_benchmark_is_nearly_cba_insensitive() {
         (cba_con - rp_con).abs() / rp_con < 0.25,
         "sparse task: CBA-CON ({cba_con}) within 25% of RP-CON ({rp_con})"
     );
-    assert!(cba_iso < 1.05, "sparse task: CBA barely stalls it in isolation");
+    assert!(
+        cba_iso < 1.05,
+        "sparse task: CBA barely stalls it in isolation"
+    );
 }
 
 #[test]

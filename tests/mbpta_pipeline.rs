@@ -15,8 +15,8 @@ fn quick_profile() -> cba_workloads::EembcProfile {
 
 #[test]
 fn wcet_mode_samples_are_iid_and_fit_a_gumbel() {
-    let analysis = pwcet_analysis(&quick_profile(), BusSetup::Cba, 150, 41)
-        .expect("analysis succeeds");
+    let analysis =
+        pwcet_analysis(&quick_profile(), BusSetup::Cba, 150, 41).expect("analysis succeeds");
     // Independent seeds + randomized caches/arbitration => iid samples.
     assert!(
         analysis.iid.passes(0.01),
@@ -33,7 +33,10 @@ fn pwcet_bound_dominates_analysis_and_operation() {
     let analysis =
         pwcet_analysis(&quick_profile(), BusSetup::Cba, 120, 17).expect("analysis succeeds");
     let bound = analysis.model.quantile_per_run(1e-12);
-    assert!(bound >= analysis.max_analysis, "bound must cover analysis max");
+    assert!(
+        bound >= analysis.max_analysis,
+        "bound must cover analysis max"
+    );
     assert!(
         bound >= analysis.max_operation,
         "bound must cover deployment max ({} vs {})",

@@ -2,7 +2,7 @@
 //! arbitration policy drives a real bus with saturating clients and must
 //! uphold its documented invariants.
 
-use cba_bus::{Bus, BusConfig, PolicyKind};
+use cba_bus::{drive, Bus, BusConfig, Control, PolicyKind};
 use cba_cpu::Contender;
 use sim_core::CoreId;
 
@@ -10,20 +10,21 @@ fn c(i: usize) -> CoreId {
     CoreId::from_index(i)
 }
 
+/// Drives `clients` against `bus` for `cycles` through the shared engine.
+fn run_clients(bus: &mut Bus, clients: &mut [Contender], cycles: u64) {
+    drive(bus, cycles, |bus, now, done| {
+        for k in clients.iter_mut() {
+            k.tick(now, done, bus);
+        }
+        Control::Continue
+    });
+}
+
 /// Runs 4 saturating contenders with equal request durations for `cycles`.
 fn run_saturated(kind: PolicyKind, duration: u32, cycles: u64) -> Bus {
-    let mut bus = Bus::new(
-        BusConfig::new(4, 56).unwrap(),
-        kind.build(4, 56),
-    );
+    let mut bus = Bus::new(BusConfig::new(4, 56).unwrap(), kind.build(4, 56));
     let mut clients: Vec<Contender> = (0..4).map(|i| Contender::new(c(i), duration)).collect();
-    for now in 0..cycles {
-        let done = bus.begin_cycle(now);
-        for k in &mut clients {
-            k.tick(now, done.as_ref(), &mut bus);
-        }
-        bus.end_cycle(now);
-    }
+    run_clients(&mut bus, &mut clients, cycles);
     bus
 }
 
@@ -107,13 +108,7 @@ fn slot_fairness_is_not_cycle_fairness_with_mixed_durations() {
         let mut clients: Vec<Contender> = (0..4)
             .map(|i| Contender::new(c(i), if i == 0 { 5 } else { 56 }))
             .collect();
-        for now in 0..50_000u64 {
-            let done = bus.begin_cycle(now);
-            for k in &mut clients {
-                k.tick(now, done.as_ref(), &mut bus);
-            }
-            bus.end_cycle(now);
-        }
+        run_clients(&mut bus, &mut clients, 50_000);
         let report = bus.trace().share_report();
         assert!(
             report.slot_fairness() > 0.99,
@@ -146,13 +141,7 @@ fn cba_filter_composes_with_every_policy() {
             .map(|i| Contender::new(c(i), if i == 0 { 5 } else { 56 }))
             .collect();
         let horizon = 100_000u64;
-        for now in 0..horizon {
-            let done = bus.begin_cycle(now);
-            for k in &mut clients {
-                k.tick(now, done.as_ref(), &mut bus);
-            }
-            bus.end_cycle(now);
-        }
+        run_clients(&mut bus, &mut clients, horizon);
         // Every core gets served, and no long-request core exceeds its
         // 1/N cycle entitlement.
         for i in 0..4 {

@@ -29,7 +29,8 @@ fn split_bus(with_cba: bool) -> SplitBus {
 fn saturate(bus: &mut SplitBus, horizon: u64, atomic_cores: &[usize]) {
     for now in 0..horizon {
         if bus.is_idle(c(0)) {
-            bus.post(c(0), SplitRequest::Immediate { duration: 5 }).unwrap();
+            bus.post(c(0), SplitRequest::Immediate { duration: 5 })
+                .unwrap();
         }
         for i in 1..4 {
             if bus.is_idle(c(i)) {

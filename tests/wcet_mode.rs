@@ -2,7 +2,7 @@
 //! protocol observed through a real bus with real contenders.
 
 use cba::{CreditConfig, CreditFilter, Mode};
-use cba_bus::{Bus, BusConfig, PolicyKind};
+use cba_bus::{drive, Bus, BusConfig, Control, PolicyKind};
 use cba_cpu::{Contender, FixedRequestTask};
 use sim_core::{CoreId, Cycle};
 
@@ -31,16 +31,17 @@ fn run_wcet(
     let mut tua = FixedRequestTask::new(c(0), tua_requests, 6, tua_gap);
     let mut contenders: Vec<Contender> = (1..4).map(|i| Contender::new(c(i), 56)).collect();
 
-    let mut now = 0;
-    while !tua.is_done() && now < max_cycles {
-        let done = bus.begin_cycle(now);
-        tua.tick(now, done.as_ref(), &mut bus);
+    drive(&mut bus, max_cycles, |bus, now, done| {
+        tua.tick(now, done, bus);
         for k in &mut contenders {
-            k.tick(now, done.as_ref(), &mut bus);
+            k.tick(now, done, bus);
         }
-        bus.end_cycle(now);
-        now += 1;
-    }
+        if tua.is_done() {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    });
     (
         bus.trace().records().expect("recording").to_vec(),
         tua.done_at(),
@@ -81,13 +82,12 @@ fn contenders_do_not_run_before_the_tua_requests() {
     bus.enable_recording_trace();
     let mut contenders: Vec<Contender> = (1..4).map(|i| Contender::new(c(i), 56)).collect();
     // No TuA client at all for 2,000 cycles.
-    for now in 0..2_000u64 {
-        let done = bus.begin_cycle(now);
+    drive(&mut bus, 2_000, |bus, now, done| {
         for k in &mut contenders {
-            k.tick(now, done.as_ref(), &mut bus);
+            k.tick(now, done, bus);
         }
-        bus.end_cycle(now);
-    }
+        Control::Continue
+    });
     assert_eq!(
         bus.trace().total_slots(),
         0,
@@ -155,13 +155,12 @@ fn operation_mode_ignores_comp_gating() {
         Mode::Operation,
     )));
     let mut contenders: Vec<Contender> = (1..4).map(|i| Contender::new(c(i), 56)).collect();
-    for now in 0..10_000u64 {
-        let done = bus.begin_cycle(now);
+    drive(&mut bus, 10_000, |bus, now, done| {
         for k in &mut contenders {
-            k.tick(now, done.as_ref(), &mut bus);
+            k.tick(now, done, bus);
         }
-        bus.end_cycle(now);
-    }
+        Control::Continue
+    });
     assert!(
         bus.trace().total_slots() > 0,
         "operation mode must grant contenders without a TuA request"
