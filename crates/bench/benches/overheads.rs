@@ -4,7 +4,7 @@
 //! The paper synthesizes CBA into a 4-core LEON3 on a Stratix-IV FPGA:
 //! occupancy grows from 73% by "far less than 0.1%", timing still closes
 //! at 100 MHz. We cannot synthesize RTL here; the documented substitution
-//! (DESIGN.md) is (a) an auditable gate-level inventory of the logic CBA
+//! (EXPERIMENTS.md, E5) is (a) an auditable gate-level inventory of the logic CBA
 //! adds, and (b) a software decision-latency measurement showing the
 //! arbitration step is trivially cheap (the 1-cycle decision the paper
 //! reports corresponds to a handful of gate levels).

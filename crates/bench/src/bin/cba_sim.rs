@@ -1,106 +1,84 @@
-//! `cba-sim` — a small CLI for running custom platform scenarios without
+//! `cba-sim` — the scenario CLI: run custom platform campaigns without
 //! writing Rust.
 //!
-//! ```text
-//! cba_sim [--policy fifo|rr|tdma|lot|rp|pri] [--cba none|homog|hcba|w:a,b,c,d]
-//!         [--bench NAME | --loads SPEC] [--scenario iso|con] [--wcet]
-//!         [--runs N] [--seed S] [--cores N]
+//! Two modes:
 //!
-//! load SPEC: comma-separated per-core entries:
-//!     bench:NAME             catalog benchmark through the core model
-//!     fixed:REQS:DUR:GAP     fixed-request task
-//!     sat:DUR                saturating contender
-//!     per:DUR:PERIOD:PHASE   periodic contender
-//!     stream:ACCESSES        streaming loads
-//!     idle
+//! * **Scenario-file mode** (`--scenario-file grid.scn`): parse a
+//!   declarative scenario file, expand its `[sweep]` grid into cells, run
+//!   every cell as a Monte-Carlo campaign and print/export the per-cell
+//!   statistics. The shipped grids live in `scenarios/` at the repository
+//!   root; `scenarios/README.md` documents every key of the format.
+//! * **Flag mode** (`--bench`/`--loads`): a single ad-hoc configuration
+//!   from command-line flags, as before.
 //!
-//! examples:
-//!     cba_sim --bench matrix --scenario con --cba homog --runs 100
-//!     cba_sim --loads fixed:1000:6:4,sat:28,sat:28,sat:28 --policy rr
-//! ```
+//! Both modes accept `--out results.json|csv` for structured export.
 
-use cba::CreditConfig;
-use cba_bus::PolicyKind;
-use cba_platform::{BusSetup, Campaign, CoreLoad, PlatformConfig, RunSpec, Scenario};
+use cba_platform::report::{run_scenario_with, CellReport, ScenarioReport};
+use cba_platform::scenario::{parse_cba_spec, parse_load_spec, parse_policy, ScenarioDef};
+use cba_platform::{Campaign, CoreLoad, PlatformConfig, RunSpec, Scenario};
+
+const USAGE: &str = "\
+usage: cba_sim --scenario-file FILE [--runs N] [--seed S] [--threads N]
+               [--out FILE] [--format json|csv]
+       cba_sim [--policy fifo|rr|tdma|lot|rp|pri] [--cba none|homog|hcba|w:a,b,..]
+               [--bench NAME | --loads SPEC] [--scenario iso|con] [--wcet]
+               [--runs N] [--seed S] [--cores N] [--out FILE] [--format json|csv]
+
+load SPEC entries (comma-separated, first entry = core 0, the TuA):
+    bench:NAME             catalog benchmark through the core model
+    fixed:REQS:DUR:GAP     fixed-request task
+    sat:DUR                saturating contender
+    per:DUR:PERIOD:PHASE   periodic contender
+    stream:ACCESSES        streaming loads
+    idle                   nothing
+
+scenario-file format (see scenarios/README.md for the commented example):
+    # '#' starts a comment; keys live under [section] headers
+    [campaign]    name, runs, seed, threads (0 = auto)
+    [platform]    cores, policy, cba (none|homog|hcba|w:3:1:1:1),
+                  caps (2:1:1:1), lfsr (on|off)
+    [tua]         load = SPEC, or profile = NAME plus knob overrides:
+                  accesses, working_set, p_random, p_store, p_atomic,
+                  p_ifetch, burst = LO:HI, gap = LO:HI, between = MEAN
+    [contenders]  scenario (iso|con), loads = SPEC,..., fill = SPEC,
+                  duration = D (con contender duration, default MaxL),
+                  wcet (auto|on|off), stop (tua|all|horizon:N),
+                  max_cycles, trace (on|off)
+    [sweep]       each key is one grid axis, values comma-separated;
+                  the cross-product runs as one campaign batch. Keys:
+                  bench, setup (rp|cba|hcba|POLICY[+CBA]), scenario,
+                  cores, policy, cba, weights (3:1:1:1), caps, duration,
+                  tua, fill, and the [tua] profile knobs
+    [report]      baseline = axis=value,... (normalize each group to the
+                  matching cell, like Fig. 1's RP-ISO), percentiles = 50,95,99
+
+examples:
+    cba_sim --scenario-file scenarios/paper_fig1.scn --runs 50 --out /tmp/fig1.json
+    cba_sim --bench matrix --scenario con --cba homog --runs 100
+    cba_sim --loads fixed:1000:6:4,sat:28,sat:28,sat:28 --policy rr
+";
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
-    eprintln!("usage: cba_sim [--policy fifo|rr|tdma|lot|rp|pri] [--cba none|homog|hcba|w:a,b,..]");
-    eprintln!("               [--bench NAME | --loads SPEC] [--scenario iso|con] [--wcet]");
-    eprintln!("               [--runs N] [--seed S] [--cores N]");
-    eprintln!("load SPEC entries: bench:NAME fixed:R:D:G sat:D per:D:P:PH stream:A idle");
+    eprintln!("{USAGE}");
     std::process::exit(2)
-}
-
-fn parse_policy(s: &str) -> PolicyKind {
-    match s {
-        "fifo" => PolicyKind::Fifo,
-        "rr" => PolicyKind::RoundRobin,
-        "tdma" => PolicyKind::Tdma,
-        "lot" => PolicyKind::Lottery,
-        "rp" => PolicyKind::RandomPermutation,
-        "pri" => PolicyKind::FixedPriority,
-        other => usage(&format!("unknown policy '{other}'")),
-    }
-}
-
-fn parse_load(s: &str) -> CoreLoad {
-    let parts: Vec<&str> = s.split(':').collect();
-    let num = |p: &str| -> u64 {
-        p.parse()
-            .unwrap_or_else(|_| usage(&format!("bad number '{p}' in load '{s}'")))
-    };
-    match parts.as_slice() {
-        ["idle"] => CoreLoad::Idle,
-        ["bench", name] => CoreLoad::named(name),
-        ["fixed", r, d, g] => CoreLoad::FixedTask {
-            n_requests: num(r),
-            duration: num(d) as u32,
-            gap: num(g) as u32,
-        },
-        ["sat", d] => CoreLoad::Saturating {
-            duration: num(d) as u32,
-        },
-        ["per", d, p, ph] => CoreLoad::Periodic {
-            duration: num(d) as u32,
-            period: num(p),
-            phase: num(ph),
-        },
-        ["stream", a] => CoreLoad::Streaming { accesses: num(a) },
-        _ => usage(&format!("unknown load spec '{s}'")),
-    }
-}
-
-fn parse_cba(s: &str, n_cores: usize, maxl: u32) -> Option<CreditConfig> {
-    match s {
-        "none" => None,
-        "homog" => Some(CreditConfig::homogeneous(n_cores, maxl).expect("valid")),
-        "hcba" => Some(CreditConfig::paper_hcba(maxl).unwrap_or_else(|e| usage(&e.to_string()))),
-        other => {
-            let Some(weights) = other.strip_prefix("w:") else {
-                usage(&format!("unknown cba mode '{other}'"));
-            };
-            let nums: Vec<u32> = weights
-                .split(',')
-                .map(|w| w.parse().unwrap_or_else(|_| usage("bad weight")))
-                .collect();
-            let den = nums.iter().sum();
-            Some(CreditConfig::weighted(maxl, nums, den).unwrap_or_else(|e| usage(&e.to_string())))
-        }
-    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut policy = "rp".to_string();
-    let mut cba = "none".to_string();
+    let mut policy: Option<String> = None;
+    let mut cba: Option<String> = None;
     let mut bench: Option<String> = None;
     let mut loads: Option<String> = None;
-    let mut scenario = "con".to_string();
+    let mut scenario: Option<String> = None;
     let mut wcet = false;
-    let mut runs = 30usize;
-    let mut seed = 2017u64;
-    let mut cores = 4usize;
+    let mut runs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut cores: Option<usize> = None;
+    let mut scenario_file: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut format: Option<String> = None;
+    let mut threads: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -110,43 +88,192 @@ fn main() {
                 .clone()
         };
         match arg.as_str() {
-            "--policy" => policy = val("--policy"),
-            "--cba" => cba = val("--cba"),
+            "--policy" => policy = Some(val("--policy")),
+            "--cba" => cba = Some(val("--cba")),
             "--bench" => bench = Some(val("--bench")),
             "--loads" => loads = Some(val("--loads")),
-            "--scenario" => scenario = val("--scenario"),
+            "--scenario" => scenario = Some(val("--scenario")),
+            "--scenario-file" => scenario_file = Some(val("--scenario-file")),
+            "--out" => out = Some(val("--out")),
+            "--format" => format = Some(val("--format")),
             "--wcet" => wcet = true,
             "--runs" => {
-                runs = val("--runs")
+                let n: usize = val("--runs")
                     .parse()
-                    .unwrap_or_else(|_| usage("bad --runs"))
+                    .unwrap_or_else(|_| usage("bad --runs"));
+                if n == 0 {
+                    usage("--runs must be positive");
+                }
+                runs = Some(n)
             }
             "--seed" => {
-                seed = val("--seed")
-                    .parse()
-                    .unwrap_or_else(|_| usage("bad --seed"))
+                seed = Some(
+                    val("--seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --seed")),
+                )
             }
             "--cores" => {
-                cores = val("--cores")
-                    .parse()
-                    .unwrap_or_else(|_| usage("bad --cores"))
+                cores = Some(
+                    val("--cores")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --cores")),
+                )
             }
-            "--help" | "-h" => usage("help requested"),
+            "--threads" => {
+                // 0 = auto, matching the scenario-file `threads` key.
+                threads = Some(
+                    val("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --threads")),
+                )
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0)
+            }
             other => usage(&format!("unknown flag '{other}'")),
         }
     }
 
-    let setup = BusSetup::Custom {
-        policy: parse_policy(&policy),
-        cba: parse_cba(&cba, cores, 56),
+    // Resolve the export format BEFORE running anything: a typo must not
+    // discard a long campaign.
+    let export = out.map(|path| {
+        let format = format.unwrap_or_else(|| {
+            if path.ends_with(".csv") {
+                "csv".into()
+            } else {
+                "json".into()
+            }
+        });
+        if format != "json" && format != "csv" {
+            usage(&format!("unknown format '{format}' (expected json, csv)"));
+        }
+        (path, format)
+    });
+
+    let report = match scenario_file {
+        Some(path) => {
+            // Flag-mode options don't apply to a scenario file; reject
+            // them loudly instead of silently running the file as-is.
+            let ignored: Vec<&str> = [
+                ("--bench", bench.is_some()),
+                ("--loads", loads.is_some()),
+                ("--policy", policy.is_some()),
+                ("--cba", cba.is_some()),
+                ("--scenario", scenario.is_some()),
+                ("--cores", cores.is_some()),
+                ("--wcet", wcet),
+            ]
+            .iter()
+            .filter(|(_, set)| *set)
+            .map(|(flag, _)| *flag)
+            .collect();
+            if !ignored.is_empty() {
+                usage(&format!(
+                    "{} cannot be combined with --scenario-file (set the equivalent keys \
+                     in the file; only --runs/--seed/--threads override it)",
+                    ignored.join(", ")
+                ));
+            }
+            run_scenario_file(&path, runs, seed, threads)
+        }
+        None => run_flag_mode(
+            policy.as_deref().unwrap_or("rp"),
+            cba.as_deref().unwrap_or("none"),
+            &bench,
+            &loads,
+            scenario.as_deref().unwrap_or("con"),
+            wcet,
+            runs,
+            seed,
+            cores.unwrap_or(4),
+            threads,
+        ),
+    };
+
+    print!("{}", report.render_table());
+    if let Some((path, format)) = export {
+        let body = match format.as_str() {
+            "json" => report.to_json(),
+            "csv" => report.to_csv(),
+            _ => unreachable!("validated before the run"),
+        };
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("cba-sim: wrote {format} report to {path}");
+    }
+}
+
+/// Scenario-file mode: parse, apply CLI overrides, run every cell.
+fn run_scenario_file(
+    path: &str,
+    runs: Option<usize>,
+    seed: Option<u64>,
+    threads: Option<usize>,
+) -> ScenarioReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    let mut def = ScenarioDef::parse(&text).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+    if let Some(r) = runs {
+        def.runs = r;
+    }
+    if let Some(s) = seed {
+        def.seed = s;
+    }
+    if let Some(t) = threads {
+        // 0 = auto, like the file's `threads` key.
+        def.threads = if t == 0 { None } else { Some(t) };
+    }
+    eprintln!(
+        "cba-sim: scenario '{}' from {path}: {} cells x {} runs, seed {}",
+        def.name,
+        def.n_cells(),
+        def.runs,
+        def.seed
+    );
+    run_scenario_with(&def, |done, total, cell| {
+        let label: Vec<&str> = cell.labels.iter().map(|(_, v)| v.as_str()).collect();
+        eprintln!(
+            "cba-sim: [{done}/{total}] {} mean {:.1} cycles",
+            label.join(" · "),
+            cell.mean
+        );
+    })
+    .unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+}
+
+/// Flag mode: one ad-hoc cell from command-line flags, reported in the
+/// same structure as a one-cell scenario so `--out` works identically.
+#[allow(clippy::too_many_arguments)]
+fn run_flag_mode(
+    policy: &str,
+    cba: &str,
+    bench: &Option<String>,
+    loads: &Option<String>,
+    scenario: &str,
+    wcet: bool,
+    runs: Option<usize>,
+    seed: Option<u64>,
+    cores: usize,
+    threads: Option<usize>,
+) -> ScenarioReport {
+    let runs = runs.unwrap_or(30);
+    let seed = seed.unwrap_or(2017);
+    let policy_kind = parse_policy(policy).unwrap_or_else(|e| usage(&e));
+    let setup = cba_platform::BusSetup::Custom {
+        policy: policy_kind,
+        cba: parse_cba_spec(cba, cores, 56).unwrap_or_else(|e| usage(&e)),
     };
     let mut platform = PlatformConfig::paper_n_cores(&setup, cores);
-    platform.policy = parse_policy(&policy);
+    platform.policy = policy_kind;
 
-    let mut spec = match (&bench, &loads) {
+    let mut spec = match (bench, loads) {
         (Some(_), Some(_)) => usage("--bench and --loads are mutually exclusive"),
         (Some(name), None) => {
-            let scen = match scenario.as_str() {
+            let scen = match scenario {
                 "iso" => Scenario::Isolation,
                 "con" => Scenario::MaxContention,
                 other => usage(&format!("unknown scenario '{other}'")),
@@ -154,7 +281,10 @@ fn main() {
             RunSpec::with_platform(platform, scen, CoreLoad::named(name))
         }
         (None, Some(spec_str)) => {
-            let all: Vec<CoreLoad> = spec_str.split(',').map(parse_load).collect();
+            let all: Vec<CoreLoad> = spec_str
+                .split(',')
+                .map(|s| parse_load_spec(s.trim()).unwrap_or_else(|e| usage(&e)))
+                .collect();
             if all.is_empty() {
                 usage("--loads needs at least one entry");
             }
@@ -162,7 +292,7 @@ fn main() {
             let rest = all[1..].to_vec();
             RunSpec::with_platform(platform, Scenario::Custom(rest), tua)
         }
-        (None, None) => usage("one of --bench or --loads is required"),
+        (None, None) => usage("one of --scenario-file, --bench or --loads is required"),
     };
     spec.wcet_mode = wcet;
     if let Err(e) = spec.validate() {
@@ -180,30 +310,43 @@ fn main() {
             .unwrap_or("none"),
         runs
     );
-    let result = Campaign::new(spec, runs, seed).run();
-    let s = result.summary();
-    println!("runs       : {}", s.count());
-    println!(
-        "mean       : {:.1} cycles (±{:.1} at 95%)",
-        s.mean(),
-        s.ci95_half_width()
-    );
-    println!("min / max  : {:.0} / {:.0}", s.min(), s.max());
-    println!("p50        : {:.0}", result.percentile(0.50));
-    println!("p95        : {:.0}", result.percentile(0.95));
-    println!("p99        : {:.0}", result.percentile(0.99));
-    if result.unfinished() > 0 {
-        println!(
-            "unfinished : {} runs hit the cycle limit",
-            result.unfinished()
-        );
+    let record_trace = spec.record_trace;
+    let mut campaign = Campaign::new(spec, runs, seed);
+    if let Some(t) = threads {
+        if t > 0 {
+            // 0 = auto: keep the campaign's own thread heuristic.
+            campaign = campaign.with_threads(t);
+        }
     }
+    let result = campaign.run();
     // Bus-side view of the first run.
     let first = &result.results()[0];
-    println!(
-        "bus (run 0): utilization {:.1}%, TuA mean wait {:.1} cycles, max wait {}",
+    eprintln!(
+        "cba-sim: bus (run 0): utilization {:.1}%, TuA mean wait {:.1} cycles, max wait {}",
         100.0 * first.utilization(),
         first.tua_mean_wait,
         first.tua_max_wait
     );
+    let config_label = match (bench, loads) {
+        (Some(name), _) => format!("bench:{name}:{scenario}"),
+        (_, Some(spec_str)) => spec_str.clone(),
+        _ => unreachable!("validated above"),
+    };
+    let cell = CellReport::from_campaign(
+        vec![
+            ("policy".into(), policy.to_string()),
+            ("cba".into(), cba.to_string()),
+            ("config".into(), config_label),
+        ],
+        seed,
+        &result,
+        &[0.50, 0.95, 0.99],
+        record_trace,
+    );
+    ScenarioReport {
+        name: "cli".into(),
+        seed,
+        runs,
+        cells: vec![cell],
+    }
 }

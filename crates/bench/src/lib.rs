@@ -1,14 +1,4 @@
-//! Shared harness utilities for the table/figure regenerators.
-//!
-//! Each `benches/*.rs` target (all `harness = false`) regenerates one
-//! artifact of the paper — see `DESIGN.md`'s experiment index. The targets
-//! accept two environment variables so the same binaries serve quick CI
-//! passes and full reproductions:
-//!
-//! * `CBA_RUNS` — randomized runs per configuration (default: a reduced
-//!   count per target; the paper uses 1,000);
-//! * `CBA_SEED` — master seed (default 2017, the paper's year).
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,57 +1,4 @@
-//! Non-split shared-bus model with pluggable arbitration.
-//!
-//! This crate models the interconnect of the paper's platform: an AMBA-style
-//! **non-split bus** connecting `N` cores to a shared (partitioned) L2 cache
-//! and the memory controller. A granted transaction holds the bus for its
-//! full duration (5..=56 cycles on the reference platform) — requests are
-//! never split, which is exactly why *slot* fairness and *cycle* fairness
-//! diverge and why the paper's credit-based arbitration (CBA) exists.
-//!
-//! The crate provides:
-//!
-//! * [`BusRequest`] / [`RequestKind`] — one pending bus transaction per core;
-//! * [`ArbitrationPolicy`] — the arbiter interface, with the five baseline
-//!   policies discussed in the paper's Section II ([`policies`]):
-//!   FIFO, round-robin, TDMA, lottery, random permutations, plus fixed
-//!   priority (included to demonstrate the starvation problem that rules it
-//!   out for real-time use);
-//! * [`EligibilityFilter`] — the hook CBA plugs into: a filter that decides,
-//!   each cycle, which pending requests are *arbitrable*. The bus asks the
-//!   filter first and only then runs the arbitration policy, mirroring the
-//!   paper's description of CBA as "a filter to determine the pending
-//!   requests that are eligible to be arbitrated";
-//! * [`Bus`] — the cycle-accurate bus itself, with grant tracing and
-//!   per-core wait statistics.
-//!
-//! # Example: slot fairness is not bandwidth fairness
-//!
-//! ```
-//! use cba_bus::{Bus, BusConfig, BusRequest, RequestKind, policies::RoundRobin};
-//! use sim_core::CoreId;
-//!
-//! let config = BusConfig::new(2, 56).unwrap();
-//! let mut bus = Bus::new(config, Box::new(RoundRobin::new(2)));
-//! let c0 = CoreId::from_index(0);
-//! let c1 = CoreId::from_index(1);
-//!
-//! // Core 0 issues 5-cycle requests, core 1 issues 45-cycle requests,
-//! // both saturating. Round-robin grants them alternately.
-//! for now in 0..5_000u64 {
-//!     if !bus.has_pending(c0) && bus.owner() != Some(c0) {
-//!         bus.post(BusRequest::new(c0, 5, RequestKind::L2ReadHit, now).unwrap()).unwrap();
-//!     }
-//!     if !bus.has_pending(c1) && bus.owner() != Some(c1) {
-//!         bus.post(BusRequest::new(c1, 45, RequestKind::L2MissClean, now).unwrap()).unwrap();
-//!     }
-//!     bus.tick(now);
-//! }
-//! let report = bus.trace().share_report();
-//! // Equal slots...
-//! assert!((report.slot_share(c0) - 0.5).abs() < 0.02);
-//! // ...but core 1 hogs the bandwidth: the paper's 10%/90% observation.
-//! assert!(report.cycle_share(c0) < 0.12);
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,96 +1,4 @@
-//! Credit-Based Arbitration (CBA) for shared buses — the contribution of
-//! *“Design and Implementation of a Fair Credit-Based Bandwidth Sharing
-//! Scheme for Buses”* (Slijepcevic, Hernandez, Abella, Cazorla — DATE 2017).
-//!
-//! # The problem
-//!
-//! Classical real-time bus arbiters (FIFO, round-robin, TDMA, lottery,
-//! random permutations) are fair in the number of **slots** each core is
-//! granted. On a non-split bus where transactions last from 5 cycles (L2
-//! read hit) to 56 cycles (dirty miss, atomic op), slot fairness is *not*
-//! bandwidth fairness: a core issuing 5-cycle requests alternating with a
-//! core issuing 45-cycle requests receives only 10% of the bus cycles. The
-//! paper shows this inflates the worst-case slowdown of short-request tasks
-//! far beyond the core count (9.4x on a 4-core — "virtually unbounded").
-//!
-//! # The mechanism
-//!
-//! CBA gives each core a credit **budget** measured in bus cycles and
-//! saturating at `MaxL`, the longest possible transaction:
-//!
-//! * every cycle, each core recovers `1/N` cycles of budget (Equation 1 of
-//!   the paper), implemented fraction-free with scaled integers
-//!   ([`CreditCounter`]);
-//! * while a core holds the bus, its budget drains by 1 cycle per cycle;
-//! * only cores with a **full** (`>= MaxL`) budget are *eligible* for
-//!   arbitration — CBA is an eligibility filter in front of any slot-fair
-//!   policy ([`CreditFilter`] implements
-//!   [`cba_bus::EligibilityFilter`]).
-//!
-//! In steady state **no** core can hold the bus for more than `1/N` of the
-//! cycles, whatever its request lengths: long-request cores are pinned to
-//! their bandwidth entitlement instead of hogging the bus, which is what
-//! bounds the slowdown of short-request tasks by roughly the core count.
-//! (The filter is an upper bound, not a proportional scheduler: a
-//! short-request core still pays its own recovery windows, so under full
-//! saturation it reaches less than `1/N` — see `EXPERIMENTS.md` for the
-//! quantitative comparison against the paper's idealized analysis.)
-//!
-//! Heterogeneous allocation (H-CBA) skews the recovery weights (e.g. ½ for
-//! the task under analysis and 1/6 for the other three cores, giving it 50%
-//! of the bandwidth) or lets a core's budget cap grow above `MaxL` so that
-//! it can burst back-to-back ([`CreditConfig`] expresses both variants).
-//!
-//! # WCET estimation mode
-//!
-//! For measurement-based probabilistic timing analysis (MBPTA) the paper
-//! adds a hardware mode that manufactures the worst contention scenario
-//! while the task under analysis (TuA) runs: contender cores always have a
-//! `MaxL` request ready, but *compete* only when the TuA itself has a
-//! request pending and their own budget is full (the `COMP`/`REQ` signal
-//! logic of Table I, implemented by [`CreditFilter`] in
-//! [`Mode::WcetEstimation`]). [`SignalTable`] renders Table I straight from
-//! a configuration.
-//!
-//! # Example
-//!
-//! ```
-//! use cba::{CreditConfig, CreditFilter};
-//! use cba_bus::{drive, Bus, BusConfig, BusRequest, Control, RequestKind, PolicyKind};
-//! use sim_core::CoreId;
-//!
-//! // The paper's platform: 4 cores, MaxL = 56, random permutations + CBA.
-//! let config = CreditConfig::homogeneous(4, 56)?;
-//! let mut bus = Bus::new(BusConfig::new(4, 56)?, PolicyKind::RandomPermutation.build(4, 56));
-//! bus.set_filter(Box::new(CreditFilter::new(config)));
-//!
-//! // Core 0 saturates with short requests, cores 1-3 with long ones; the
-//! // workspace-wide engine owns the cycle loop.
-//! let total = 20_000u64;
-//! drive(&mut bus, total, |bus, now, _completed| {
-//!     for i in 0..4 {
-//!         let c = CoreId::from_index(i);
-//!         if !bus.has_pending(c) && bus.owner() != Some(c) {
-//!             let dur = if i == 0 { 5 } else { 56 };
-//!             bus.post(BusRequest::new(c, dur, RequestKind::Synthetic, now).unwrap())
-//!                 .unwrap();
-//!         }
-//!     }
-//!     Control::Continue
-//! });
-//! // Each long-request core is pinned at <= 1/4 of *all* cycles (under a
-//! // slot-fair policy it would grab 56/173 = 32%), and the short-request
-//! // core's bandwidth roughly triples versus slot-fair round-robin
-//! // (5/173 = 2.9% there).
-//! for i in 1..4 {
-//!     let busy = bus.trace().busy_cycles(CoreId::from_index(i));
-//!     assert!(busy as f64 / total as f64 <= 0.26, "core{i} exceeded 1/N");
-//! }
-//! let short = bus.trace().busy_cycles(CoreId::from_index(0)) as f64 / total as f64;
-//! assert!(short > 0.06, "short-request core got only {short}");
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -1,60 +1,4 @@
-//! In-order core models for the CBA platform.
-//!
-//! The paper's platform uses pipelined in-order SparcV8 LEON3 cores; what
-//! the bus (and hence every experiment) observes from a core is the
-//! *arrival process of bus transactions*: stretches of computation, L1
-//! hits, and blocking or write-through accesses that translate into bus
-//! requests. [`Core`] models exactly that surface:
-//!
-//! * a [`Program`] yields an operation stream ([`Op::Compute`] /
-//!   [`Op::Access`]);
-//! * accesses are classified by the core's private
-//!   [`CoreMemory`](cba_mem::CoreMemory) hierarchy;
-//! * loads, instruction-fetch misses and atomics **block** the core until
-//!   their bus transaction completes (in-order, one outstanding request);
-//! * write-through stores are absorbed by a small [`StoreBuffer`] that
-//!   drains over the bus in program order (total store order: a blocking
-//!   access waits for the buffer to drain first);
-//! * [`Contender`] generates the worst-case contention of WCET-estimation
-//!   mode: a request of `MaxL` cycles re-posted the same cycle the previous
-//!   one completes.
-//!
-//! # Example
-//!
-//! ```
-//! use cba_bus::{Bus, BusConfig, PolicyKind};
-//! use cba_cpu::{Core, Op, ScriptProgram};
-//! use cba_mem::{HierarchyConfig, LatencyModel, MemAccess};
-//! use sim_core::rng::SimRng;
-//!
-//! // One core running alone: 10 cycles of compute, one cold load.
-//! let mut rng = SimRng::seed_from(1);
-//! let program = ScriptProgram::new("demo", vec![
-//!     Op::Compute(10),
-//!     Op::Access(MemAccess::load(0x1000)),
-//! ]);
-//! let mut core = Core::new(
-//!     sim_core::CoreId::from_index(0),
-//!     Box::new(program),
-//!     &HierarchyConfig::paper(),
-//!     LatencyModel::paper(),
-//!     &mut rng,
-//! );
-//! let mut bus = Bus::new(BusConfig::new(1, 56)?, PolicyKind::RoundRobin.build(1, 56));
-//!
-//! let mut now = 0;
-//! while !core.is_done() && now < 1_000 {
-//!     let completed = bus.begin_cycle(now);
-//!     core.tick(now, completed.as_ref(), &mut bus);
-//!     bus.end_cycle(now);
-//!     now += 1;
-//! }
-//! // 10 compute + 1 issue + 28-cycle cold miss = done within ~40 cycles.
-//! assert!(core.is_done());
-//! assert!(core.done_at().unwrap() < 45);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

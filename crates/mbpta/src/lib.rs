@@ -1,45 +1,4 @@
-//! Measurement-Based Probabilistic Timing Analysis (MBPTA).
-//!
-//! The paper derives WCET estimates with MBPTA (Cucu-Grosjean et al.,
-//! ECRTS 2012): execution times are collected over randomized runs under
-//! enforced worst-case contention, checked for independence and identical
-//! distribution, and extrapolated with extreme value theory (EVT) to a
-//! **pWCET curve** — an execution-time bound per exceedance probability
-//! (e.g. the time exceeded with probability at most 1e-12 per run).
-//!
-//! This crate implements the pipeline, self-contained (no external
-//! statistics dependencies):
-//!
-//! * [`iid`] — the applicability tests: two-sample Kolmogorov–Smirnov
-//!   (identical distribution), Ljung–Box (no autocorrelation) and the
-//!   Wald–Wolfowitz runs test (randomness);
-//! * [`gumbel`] — the Gumbel (EVT type I) distribution with
-//!   method-of-moments and maximum-likelihood fitting on block maxima;
-//! * [`tail`] — exponential tail fitting over a threshold
-//!   (peaks-over-threshold variant, used as a cross-check);
-//! * [`pwcet`] — the end-to-end [`PWcetModel`](pwcet::PWcetModel):
-//!   samples → block maxima → Gumbel fit → per-run exceedance quantiles;
-//! * [`special`] — the underlying special functions (erfc, regularized
-//!   incomplete gamma, ln-gamma).
-//!
-//! # Example
-//!
-//! ```
-//! use cba_mbpta::pwcet::{MbptaConfig, PWcetModel};
-//!
-//! // 1,000 synthetic execution-time measurements.
-//! let samples: Vec<f64> = (0..1000)
-//!     .map(|i| 10_000.0 + 150.0 * (((i * 2654435761_u64) % 1000) as f64 / 1000.0))
-//!     .collect();
-//! let model = PWcetModel::fit(&samples, MbptaConfig::default())?;
-//! let p_12 = model.quantile_per_run(1e-12);
-//! // The pWCET bound grows as the target probability shrinks and always
-//! // dominates the observed maximum.
-//! assert!(p_12 >= model.max_observed());
-//! assert!(model.quantile_per_run(1e-15) >= p_12);
-//! # Ok::<(), cba_mbpta::MbptaError>(())
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

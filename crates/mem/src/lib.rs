@@ -1,47 +1,4 @@
-//! Memory-hierarchy substrate of the modeled platform.
-//!
-//! The paper's FPGA prototype pairs each LEON3 core with private L1
-//! instruction/data caches and connects all cores through the shared bus to
-//! a **partitioned** L2 and a DDR2 memory controller. Two properties matter
-//! for the experiments and are modeled faithfully here:
-//!
-//! 1. **Randomization.** Caches implement random placement and random
-//!    replacement so that execution times are probabilistic and
-//!    measurement-based probabilistic timing analysis (MBPTA) applies. A
-//!    fresh placement seed is drawn per run ([`SetAssocCache::reseed`]),
-//!    which is why the evaluation averages over 1,000 runs.
-//! 2. **Partitioning.** Each core owns a private slice of the L2
-//!    ([`PartitionedL2`]), so cores never evict each other's lines — the
-//!    *only* inter-core interference left is bus bandwidth, exactly the
-//!    effect CBA regulates.
-//!
-//! [`LatencyModel`] maps each access outcome to the bus transaction
-//! duration of the paper's Section IV.A: 5 cycles for an L2 read hit up to
-//! 56 cycles for a dirty miss or an atomic operation (two memory accesses
-//! of 28 cycles). [`CoreMemory`] bundles one core's L1s and L2 partition
-//! and classifies a memory access into "L1 hit" or "bus transaction of
-//! duration d".
-//!
-//! # Example
-//!
-//! ```
-//! use cba_mem::{CacheConfig, CoreMemory, HierarchyConfig, LatencyModel, MemAccess};
-//! use sim_core::rng::SimRng;
-//!
-//! let mut rng = SimRng::seed_from(42);
-//! let mut mem = CoreMemory::new(&HierarchyConfig::paper(), &mut rng);
-//! let lat = LatencyModel::paper();
-//!
-//! // A cold load misses everywhere: one 28-cycle memory transaction.
-//! let outcome = mem.access(MemAccess::load(0x1000), &mut rng);
-//! let bus = outcome.bus_transaction(&lat).expect("cold miss goes to the bus");
-//! assert_eq!(bus.duration, 28);
-//!
-//! // Re-touching the same line hits in L1: no bus traffic.
-//! let outcome = mem.access(MemAccess::load(0x1004), &mut rng);
-//! assert!(outcome.bus_transaction(&lat).is_none());
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

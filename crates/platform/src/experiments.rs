@@ -4,16 +4,38 @@
 //! Every driver takes a run count and a master seed so the same code can
 //! power quick CI checks (tens of runs) and full reproductions (the
 //! paper's 1,000 runs per configuration).
+//!
+//! The grid-shaped drivers ([`fig1`], [`illustrative`], [`fairness_sweep`])
+//! are thin wrappers over [`crate::scenario`] definitions — the same
+//! engine that executes `scenarios/*.scn` files from the CLI — so the
+//! shipped scenario files and the Rust API produce identical numbers (see
+//! `EXPERIMENTS.md`). The remaining drivers ([`ablation_hcba`],
+//! [`pwcet_analysis`]) need per-variant credit configs or model fitting
+//! and stay hand-written.
 
 use crate::campaign::Campaign;
-use crate::config::{BusSetup, PlatformConfig};
+use crate::config::BusSetup;
 use crate::platform::{CoreLoad, RunSpec, Scenario};
+use crate::report::run_scenario;
+use crate::scenario::{
+    Axis, AxisValue, ContenderSpec, ReportSpec, ScenarioDef, Template, TuaSpec, WcetSpec,
+};
 use cba::CreditConfig;
 use cba_bus::PolicyKind;
 use cba_mbpta::iid::IidReport;
 use cba_mbpta::pwcet::{MbptaConfig, PWcetModel};
 use cba_mbpta::MbptaError;
 use cba_workloads::EembcProfile;
+
+fn raw_axis(key: &str, values: &[&str]) -> Axis {
+    Axis {
+        key: key.to_string(),
+        values: values
+            .iter()
+            .map(|v| AxisValue::Raw(v.to_string()))
+            .collect(),
+    }
+}
 
 /// One bar of Figure 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,40 +54,60 @@ pub struct Fig1Cell {
     pub ci95: f64,
 }
 
+/// The scenario definition behind [`fig1`]: benchmarks × the paper's
+/// three bus setups × {ISO, CON}, normalized to each benchmark's RP-ISO
+/// mean. The shipped `scenarios/paper_fig1.scn` expands to exactly this
+/// grid for the Figure-1 suite (asserted by the conformance tests).
+pub fn fig1_def(benchmarks: &[EembcProfile], runs: usize, seed: u64) -> ScenarioDef {
+    ScenarioDef {
+        name: "paper_fig1".into(),
+        runs,
+        seed,
+        threads: None,
+        template: Template::default(),
+        axes: vec![
+            Axis {
+                key: "bench".into(),
+                values: benchmarks.iter().cloned().map(AxisValue::Profile).collect(),
+            },
+            raw_axis("setup", &["rp", "cba", "hcba"]),
+            raw_axis("scenario", &["iso", "con"]),
+        ],
+        report: ReportSpec {
+            baseline: vec![
+                ("setup".into(), "rp".into()),
+                ("scenario".into(), "iso".into()),
+            ],
+            ..ReportSpec::default()
+        },
+    }
+}
+
 /// Regenerates Figure 1: normalized average execution times for
 /// {RP, CBA, H-CBA} x {isolation, max contention} over `benchmarks`,
 /// `runs` randomized runs per bar.
 pub fn fig1(benchmarks: &[EembcProfile], runs: usize, seed: u64) -> Vec<Fig1Cell> {
-    let mut cells = Vec::new();
-    for (bi, profile) in benchmarks.iter().enumerate() {
-        let mut baseline = None;
-        for (si, setup) in BusSetup::paper_setups().into_iter().enumerate() {
-            for (ci, scenario) in [Scenario::Isolation, Scenario::MaxContention]
-                .into_iter()
-                .enumerate()
-            {
-                let spec =
-                    RunSpec::paper(setup.clone(), scenario, CoreLoad::Profile(profile.clone()));
-                let campaign_seed = seed ^ ((bi as u64) << 40 | (si as u64) << 20 | ci as u64);
-                let result = Campaign::new(spec, runs, campaign_seed).run();
-                let mean = result.mean();
-                if baseline.is_none() {
-                    // First cell per benchmark is RP-ISO: the normalizer.
-                    baseline = Some(mean);
-                }
-                let base = baseline.expect("set on first iteration");
-                cells.push(Fig1Cell {
-                    benchmark: profile.name.to_string(),
-                    setup: setup.label(),
-                    scenario: if ci == 0 { "ISO" } else { "CON" },
-                    mean_cycles: mean,
-                    normalized: mean / base,
-                    ci95: result.summary().ci95_half_width() / base,
-                });
-            }
-        }
+    if benchmarks.is_empty() {
+        return Vec::new();
     }
-    cells
+    let report = run_scenario(&fig1_def(benchmarks, runs, seed))
+        .expect("the paper grid is a valid scenario");
+    report
+        .cells
+        .into_iter()
+        .map(|c| Fig1Cell {
+            benchmark: c.label("bench").expect("bench axis").to_string(),
+            setup: c.label("setup").expect("setup axis").to_string(),
+            scenario: if c.label("scenario") == Some("ISO") {
+                "ISO"
+            } else {
+                "CON"
+            },
+            mean_cycles: c.mean,
+            normalized: c.normalized.expect("fig1 normalizes to RP-ISO"),
+            ci95: c.normalized_ci95.expect("fig1 normalizes to RP-ISO"),
+        })
+        .collect()
 }
 
 /// Derived statistics the paper quotes in Section IV.B.
@@ -150,50 +192,54 @@ impl IllustrativeAnalytic {
     }
 }
 
+/// The scenario definition behind [`illustrative`]: the paper's fixed
+/// 1,000-request TuA against three 28-cycle saturating co-runners, swept
+/// over the five arbitration configurations of the Section II table.
+/// `scenarios/paper_illustrative.scn` is this definition as a file.
+pub fn illustrative_def(runs: usize, seed: u64) -> ScenarioDef {
+    ScenarioDef {
+        name: "paper_illustrative".into(),
+        runs,
+        seed,
+        threads: None,
+        template: Template {
+            tua: TuaSpec::Load("fixed:1000:6:4".into()),
+            contenders: ContenderSpec::Fill("sat:28".into()),
+            // Live streaming co-runners, not WCET-mode generators.
+            wcet: WcetSpec::Off,
+            ..Template::default()
+        },
+        axes: vec![raw_axis("setup", &["rr", "rp", "fifo", "cba", "hcba"])],
+        report: ReportSpec::default(),
+    }
+}
+
 /// Regenerates the Section II illustrative example: a TuA issuing 1,000
 /// 6-cycle requests every 10 cycles against three streaming co-runners
 /// with 28-cycle requests, under request-fair policies and under CBA.
 pub fn illustrative(runs: usize, seed: u64) -> Vec<IllustrativeRow> {
-    let tua = CoreLoad::FixedTask {
-        n_requests: 1_000,
-        duration: 6,
-        gap: 4,
-    };
-    let contenders: Vec<CoreLoad> = (0..3)
-        .map(|_| CoreLoad::Saturating { duration: 28 })
-        .collect();
-    let configs: Vec<(String, BusSetup)> = vec![
-        (
-            "RR (request-fair)".into(),
-            BusSetup::Custom {
-                policy: PolicyKind::RoundRobin,
-                cba: None,
-            },
-        ),
-        ("RP (request-fair)".into(), BusSetup::Rp),
-        (
-            "FIFO (request-fair)".into(),
-            BusSetup::Custom {
-                policy: PolicyKind::Fifo,
-                cba: None,
-            },
-        ),
-        ("RP + CBA (cycle-fair)".into(), BusSetup::Cba),
-        ("RP + H-CBA (TuA 50%)".into(), BusSetup::HCba),
-    ];
-    let mut rows = Vec::new();
-    for (i, (label, setup)) in configs.into_iter().enumerate() {
-        let mut spec = RunSpec::paper(setup, Scenario::Custom(contenders.clone()), tua.clone());
-        // These are live streaming co-runners, not WCET-mode generators.
-        spec.wcet_mode = false;
-        let result = Campaign::new(spec, runs, seed ^ (i as u64) << 16).run();
-        rows.push(IllustrativeRow {
-            config: label,
-            mean_cycles: result.mean(),
-            slowdown: result.mean() / 10_000.0,
-        });
-    }
-    rows
+    let report = run_scenario(&illustrative_def(runs, seed))
+        .expect("the illustrative grid is a valid scenario");
+    report
+        .cells
+        .into_iter()
+        .map(|c| {
+            let config = match c.label("setup").expect("setup axis") {
+                "rr" => "RR (request-fair)",
+                "RP" => "RP (request-fair)",
+                "fifo" => "FIFO (request-fair)",
+                "CBA" => "RP + CBA (cycle-fair)",
+                "H-CBA" => "RP + H-CBA (TuA 50%)",
+                other => other,
+            }
+            .to_string();
+            IllustrativeRow {
+                config,
+                mean_cycles: c.mean,
+                slowdown: c.mean / 10_000.0,
+            }
+        })
+        .collect()
 }
 
 /// One row of the fairness sweep (conclusion claim: CBA bounds the
@@ -211,6 +257,46 @@ pub struct SweepRow {
     pub slowdown: f64,
 }
 
+/// The scenario definition behind [`fairness_sweep`]: a short-request
+/// saturating-ish TuA (400 back-to-back 5-cycle requests) on a
+/// round-robin bus, swept over core count × {no filter, CBA} ×
+/// contender request duration. `scenarios/fairness_sweep.scn` ships the
+/// paper-scale instance of this grid.
+pub fn fairness_sweep_def(
+    core_counts: &[usize],
+    durations: &[u32],
+    runs: usize,
+    seed: u64,
+) -> ScenarioDef {
+    let cores: Vec<String> = core_counts.iter().map(|n| n.to_string()).collect();
+    let durs: Vec<String> = durations.iter().map(|d| d.to_string()).collect();
+    let as_axis = |key: &str, values: &[String]| Axis {
+        key: key.to_string(),
+        values: values.iter().cloned().map(AxisValue::Raw).collect(),
+    };
+    ScenarioDef {
+        name: "fairness_sweep".into(),
+        runs,
+        seed,
+        threads: None,
+        template: Template {
+            policy: "rr".into(),
+            tua: TuaSpec::Load("fixed:400:5:0".into()),
+            contenders: ContenderSpec::MaxContention,
+            // Live contenders: measure operation-mode fairness, not the
+            // WCET-estimation gating.
+            wcet: WcetSpec::Off,
+            ..Template::default()
+        },
+        axes: vec![
+            as_axis("cores", &cores),
+            raw_axis("cba", &["none", "homog"]),
+            as_axis("duration", &durs),
+        ],
+        report: ReportSpec::default(),
+    }
+}
+
 /// Sweeps contender request duration and core count for a short-request
 /// saturating TuA, with and without CBA on a round-robin bus.
 pub fn fairness_sweep(
@@ -219,48 +305,33 @@ pub fn fairness_sweep(
     runs: usize,
     seed: u64,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    let tua = CoreLoad::FixedTask {
-        n_requests: 400,
-        duration: 5,
-        gap: 0,
-    };
-    for &n in core_counts {
-        for &use_cba in &[false, true] {
-            for (di, &d) in durations.iter().enumerate() {
-                let mut platform = PlatformConfig::paper_n_cores(
-                    &BusSetup::Custom {
-                        policy: PolicyKind::RoundRobin,
-                        cba: use_cba.then(|| CreditConfig::homogeneous(n, 56).expect("valid")),
-                    },
-                    n,
-                );
-                platform.policy = PolicyKind::RoundRobin;
-                let contenders: Vec<CoreLoad> = (1..n)
-                    .map(|_| CoreLoad::Saturating { duration: d })
-                    .collect();
-                let mut spec =
-                    RunSpec::with_platform(platform, Scenario::Custom(contenders), tua.clone());
-                spec.wcet_mode = false;
-                let result = Campaign::new(
-                    spec,
-                    runs,
-                    seed ^ ((n as u64) << 32 | (use_cba as u64) << 16 | di as u64),
-                )
-                .run();
-                // Isolation time of the TuA: 400 back-to-back 5-cycle
-                // requests.
-                let iso = 400.0 * 5.0;
-                rows.push(SweepRow {
-                    n_cores: n,
-                    cba: use_cba,
-                    contender_duration: d,
-                    slowdown: result.mean() / iso,
-                });
-            }
-        }
+    if core_counts.is_empty() || durations.is_empty() {
+        return Vec::new();
     }
-    rows
+    let report = run_scenario(&fairness_sweep_def(core_counts, durations, runs, seed))
+        .expect("the fairness grid is a valid scenario");
+    report
+        .cells
+        .into_iter()
+        .map(|c| {
+            // Isolation time of the TuA: 400 back-to-back 5-cycle requests.
+            let iso = 400.0 * 5.0;
+            SweepRow {
+                n_cores: c
+                    .label("cores")
+                    .expect("cores axis")
+                    .parse()
+                    .expect("numeric"),
+                cba: c.label("cba") == Some("homog"),
+                contender_duration: c
+                    .label("duration")
+                    .expect("duration axis")
+                    .parse()
+                    .expect("numeric"),
+                slowdown: c.mean / iso,
+            }
+        })
+        .collect()
 }
 
 /// One row of the H-CBA ablation (Section III.A: heterogeneous bandwidth

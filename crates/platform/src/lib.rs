@@ -1,34 +1,4 @@
-//! Whole-platform integration: the paper's 4-core LEON3-class multicore as
-//! a cycle-accurate simulation.
-//!
-//! This crate wires the substrates together —
-//! [`cba_cpu`] cores with private [`cba_mem`] hierarchies, the
-//! [`cba_bus`] non-split bus with any arbitration policy, and the
-//! [`cba`] credit filter — and exposes the experiment machinery used by
-//! every bench, test and example of the repository:
-//!
-//! * [`PlatformConfig`] / [`BusSetup`] — platform assembly (the paper's
-//!   three evaluated configurations: RP, CBA, H-CBA);
-//! * [`RunSpec`] + [`run_once`] — one deterministic run of a workload
-//!   placement under a seed;
-//! * [`Campaign`] — Monte-Carlo campaigns (the paper averages 1,000
-//!   randomized runs per configuration), multi-threaded;
-//! * [`experiments`] — the drivers that regenerate each table/figure
-//!   (Figure 1, the Section II illustrative example, fairness sweeps, the
-//!   H-CBA ablation, pWCET analyses).
-//!
-//! # Example
-//!
-//! ```
-//! use cba_platform::{BusSetup, Campaign, CoreLoad, RunSpec, Scenario};
-//!
-//! // matrix on core 0, worst-case contenders on cores 1..3, paper CBA bus.
-//! let spec = RunSpec::paper(BusSetup::Cba, Scenario::MaxContention, CoreLoad::named("rspeed"));
-//! let result = Campaign::new(spec, 5, 0xC0FFEE).run();
-//! assert_eq!(result.samples().len(), 5);
-//! assert!(result.summary().mean() > 0.0);
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -36,7 +6,11 @@ pub mod campaign;
 pub mod config;
 pub mod experiments;
 pub mod platform;
+pub mod report;
+pub mod scenario;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use config::{BusSetup, PlatformConfig};
 pub use platform::{run_once, CoreLoad, RunResult, RunSpec, Scenario, StopCondition};
+pub use report::{run_scenario, CellReport, ScenarioReport};
+pub use scenario::{ScenarioDef, ScenarioError};

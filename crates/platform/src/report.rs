@@ -1,0 +1,502 @@
+//! Structured campaign results: per-cell statistics, baseline
+//! normalization, and JSON/CSV/table export.
+//!
+//! [`run_scenario`] executes every grid cell of a
+//! [`ScenarioDef`] as a Monte-Carlo
+//! [`Campaign`] and aggregates each into a [`CellReport`]: mean, 95%
+//! confidence interval, percentiles, and (for trace-recording scenarios)
+//! burst/starvation summaries. When the definition names a `[report]`
+//! baseline (e.g. `baseline = setup=rp,scenario=iso`), cells are
+//! normalized against the matching cell of their group — exactly how the
+//! paper's Figure 1 normalizes every bar to the benchmark's RP-ISO mean.
+//!
+//! The writers are dependency-free ([`sim_core::export`]): `to_json` for
+//! plots/dashboards, `to_csv` for spreadsheets, `render_table` for the
+//! terminal.
+
+use crate::campaign::Campaign;
+use crate::scenario::{Cell, ScenarioDef, ScenarioError};
+use sim_core::export::{csv_field, fmt_number, Json};
+
+/// Aggregated result of one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// `(axis key, value label)` pairs identifying the cell.
+    pub labels: Vec<(String, String)>,
+    /// The campaign seed this cell ran under.
+    pub seed: u64,
+    /// Completed runs (samples).
+    pub runs: usize,
+    /// Runs that hit the cycle safety limit instead of finishing.
+    pub unfinished: usize,
+    /// Mean execution time (cycles).
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval on the mean (cycles).
+    pub ci95: f64,
+    /// Smallest sample (cycles).
+    pub min: f64,
+    /// Largest sample (cycles).
+    pub max: f64,
+    /// `(quantile, value)` pairs per the definition's `percentiles`.
+    pub percentiles: Vec<(f64, f64)>,
+    /// Mean bus utilization over the runs.
+    pub utilization: f64,
+    /// Mean normalized to the group's baseline cell, when a baseline is
+    /// configured.
+    pub normalized: Option<f64>,
+    /// `ci95` divided by the baseline mean, when a baseline is configured.
+    pub normalized_ci95: Option<f64>,
+    /// Mean (over runs) of the TuA's longest back-to-back grant burst;
+    /// trace-recording cells only.
+    pub tua_max_burst: Option<f64>,
+    /// Mean (over runs) of the worst contender grant gap; trace-recording
+    /// cells only.
+    pub contender_max_gap: Option<f64>,
+}
+
+impl CellReport {
+    /// The label of axis `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn from_cell(cell: &Cell, runs: usize, threads: Option<usize>, qs: &[f64]) -> CellReport {
+        let mut campaign = Campaign::new(cell.spec.clone(), runs, cell.seed);
+        if let Some(t) = threads {
+            campaign = campaign.with_threads(t);
+        }
+        let result = campaign.run();
+        Self::from_campaign(
+            cell.labels.clone(),
+            cell.seed,
+            &result,
+            qs,
+            cell.spec.record_trace,
+        )
+    }
+
+    /// Aggregates a finished campaign into a report cell. `record_trace`
+    /// controls whether the burst/starvation summaries are extracted
+    /// (they are only meaningful when the spec recorded grant traces).
+    pub fn from_campaign(
+        labels: Vec<(String, String)>,
+        seed: u64,
+        result: &crate::campaign::CampaignResult,
+        qs: &[f64],
+        record_trace: bool,
+    ) -> CellReport {
+        let summary = result.summary();
+        let percentiles = if result.samples().is_empty() {
+            Vec::new()
+        } else {
+            qs.iter().map(|&q| (q, result.percentile(q))).collect()
+        };
+        let n_runs = result.results().len() as f64;
+        let utilization = result
+            .results()
+            .iter()
+            .map(|r| r.utilization())
+            .sum::<f64>()
+            / n_runs.max(1.0);
+        let (tua_max_burst, contender_max_gap) = if record_trace {
+            let burst: f64 = result
+                .results()
+                .iter()
+                .filter_map(|r| r.max_burst.first().copied().flatten())
+                .map(|b| b as f64)
+                .sum();
+            let gap: f64 = result
+                .results()
+                .iter()
+                .map(|r| {
+                    r.max_grant_gap
+                        .iter()
+                        .skip(1)
+                        .filter_map(|g| *g)
+                        .max()
+                        .unwrap_or(0) as f64
+                })
+                .sum();
+            (Some(burst / n_runs.max(1.0)), Some(gap / n_runs.max(1.0)))
+        } else {
+            (None, None)
+        };
+        CellReport {
+            labels,
+            seed,
+            runs: result.samples().len(),
+            unfinished: result.unfinished(),
+            mean: result.mean(),
+            ci95: summary.ci95_half_width(),
+            min: summary.min(),
+            max: summary.max(),
+            percentiles,
+            utilization,
+            normalized: None,
+            normalized_ci95: None,
+            tua_max_burst,
+            contender_max_gap,
+        }
+    }
+}
+
+/// The full result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Campaign name from the definition.
+    pub name: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Runs per cell.
+    pub runs: usize,
+    /// One report per grid cell, in expansion order.
+    pub cells: Vec<CellReport>,
+}
+
+/// Expands `def` and executes every cell, applying baseline
+/// normalization when the definition configures one.
+///
+/// Cells run sequentially (each campaign parallelizes its own runs), so
+/// results are deterministic regardless of machine parallelism.
+///
+/// # Errors
+///
+/// Propagates expansion errors; a configured baseline that matches no
+/// cell in some group is also an error.
+pub fn run_scenario(def: &ScenarioDef) -> Result<ScenarioReport, ScenarioError> {
+    run_scenario_with(def, |_done, _total, _cell| {})
+}
+
+/// [`run_scenario`] with a progress callback `(cells done, total, just
+/// finished)` invoked after each cell, for CLI progress lines.
+pub fn run_scenario_with(
+    def: &ScenarioDef,
+    mut progress: impl FnMut(usize, usize, &CellReport),
+) -> Result<ScenarioReport, ScenarioError> {
+    let cells = def.expand()?;
+    let total = cells.len();
+    let mut reports = Vec::with_capacity(total);
+    for cell in &cells {
+        let report = CellReport::from_cell(cell, def.runs, def.threads, &def.report.percentiles);
+        progress(reports.len() + 1, total, &report);
+        reports.push(report);
+    }
+    normalize(&mut reports, &def.report.baseline)?;
+    Ok(ScenarioReport {
+        name: def.name.clone(),
+        seed: def.seed,
+        runs: def.runs,
+        cells: reports,
+    })
+}
+
+/// Divides every cell's mean by the mean of its group's baseline cell.
+///
+/// The group of a cell is the set of cells agreeing on every axis *not*
+/// named by the selector; within a group the baseline is the cell whose
+/// selector-axis labels match the selector values (case-insensitively,
+/// against the canonical label).
+fn normalize(cells: &mut [CellReport], baseline: &[(String, String)]) -> Result<(), ScenarioError> {
+    if baseline.is_empty() || cells.is_empty() {
+        return Ok(());
+    }
+    let group_key = |cell: &CellReport| -> Vec<(String, String)> {
+        cell.labels
+            .iter()
+            .filter(|(k, _)| !baseline.iter().any(|(bk, _)| bk == k))
+            .cloned()
+            .collect()
+    };
+    let is_baseline = |cell: &CellReport| -> bool {
+        baseline.iter().all(|(bk, bv)| {
+            cell.label(bk)
+                .is_some_and(|label| label.eq_ignore_ascii_case(bv))
+        })
+    };
+    // Resolve each group's baseline mean first (groups are tiny: linear
+    // scans beat building a map keyed by label vectors).
+    let base_means: Vec<Option<f64>> = cells
+        .iter()
+        .map(|cell| {
+            let key = group_key(cell);
+            cells
+                .iter()
+                .find(|c| is_baseline(c) && group_key(c) == key)
+                .map(|c| c.mean)
+        })
+        .collect();
+    for (cell, base) in cells.iter_mut().zip(base_means) {
+        let base = base.ok_or_else(|| {
+            let selector: Vec<String> = baseline.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            ScenarioError::new(format!(
+                "baseline [{}] matches no cell in the group of [{}]",
+                selector.join(", "),
+                cell.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        cell.normalized = Some(cell.mean / base);
+        cell.normalized_ci95 = Some(cell.ci95 / base);
+    }
+    Ok(())
+}
+
+impl ScenarioReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut pairs: Vec<(String, Json)> = Vec::new();
+                for (k, v) in &c.labels {
+                    pairs.push((k.clone(), Json::str(v.clone())));
+                }
+                pairs.push(("seed".into(), Json::Num(c.seed as f64)));
+                pairs.push(("runs".into(), Json::Num(c.runs as f64)));
+                pairs.push(("unfinished".into(), Json::Num(c.unfinished as f64)));
+                pairs.push(("mean_cycles".into(), Json::Num(c.mean)));
+                pairs.push(("ci95".into(), Json::Num(c.ci95)));
+                pairs.push(("min".into(), Json::Num(c.min)));
+                pairs.push(("max".into(), Json::Num(c.max)));
+                for (q, v) in &c.percentiles {
+                    pairs.push((format!("p{}", fmt_quantile(*q)), Json::Num(*v)));
+                }
+                pairs.push(("utilization".into(), Json::Num(c.utilization)));
+                pairs.push(("normalized".into(), Json::opt_num(c.normalized)));
+                pairs.push(("normalized_ci95".into(), Json::opt_num(c.normalized_ci95)));
+                if let Some(b) = c.tua_max_burst {
+                    pairs.push(("tua_max_burst".into(), Json::Num(b)));
+                }
+                if let Some(g) = c.contender_max_gap {
+                    pairs.push(("contender_max_gap".into(), Json::Num(g)));
+                }
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("runs_per_cell", Json::Num(self.runs as f64)),
+            ("cells", Json::Arr(cells)),
+        ])
+        .render()
+    }
+
+    /// Renders the report as CSV: one header row (axis keys, then the
+    /// statistics), one row per cell.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let Some(first) = self.cells.first() else {
+            return out;
+        };
+        let mut header: Vec<String> = first.labels.iter().map(|(k, _)| k.clone()).collect();
+        header.extend(
+            [
+                "seed",
+                "runs",
+                "unfinished",
+                "mean_cycles",
+                "ci95",
+                "min",
+                "max",
+            ]
+            .map(String::from),
+        );
+        for (q, _) in &first.percentiles {
+            header.push(format!("p{}", fmt_quantile(*q)));
+        }
+        header.extend(["utilization", "normalized", "normalized_ci95"].map(String::from));
+        let trace = first.tua_max_burst.is_some();
+        if trace {
+            header.extend(["tua_max_burst", "contender_max_gap"].map(String::from));
+        }
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for c in &self.cells {
+            let mut row: Vec<String> = c.labels.iter().map(|(_, v)| csv_field(v)).collect();
+            row.push(c.seed.to_string());
+            row.push(c.runs.to_string());
+            row.push(c.unfinished.to_string());
+            row.push(fmt_number(c.mean));
+            row.push(fmt_number(c.ci95));
+            row.push(fmt_number(c.min));
+            row.push(fmt_number(c.max));
+            for (_, v) in &c.percentiles {
+                row.push(fmt_number(*v));
+            }
+            row.push(fmt_number(c.utilization));
+            row.push(c.normalized.map(fmt_number).unwrap_or_default());
+            row.push(c.normalized_ci95.map(fmt_number).unwrap_or_default());
+            if trace {
+                row.push(c.tua_max_burst.map(fmt_number).unwrap_or_default());
+                row.push(c.contender_max_gap.map(fmt_number).unwrap_or_default());
+            }
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a fixed-width terminal table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} — {} cells, {} runs each, seed {}",
+            self.name,
+            self.cells.len(),
+            self.runs,
+            self.seed
+        );
+        let normalized = self.cells.iter().any(|c| c.normalized.is_some());
+        for c in &self.cells {
+            let label = if c.labels.is_empty() {
+                "(single cell)".to_string()
+            } else {
+                c.labels
+                    .iter()
+                    .map(|(_, v)| v.clone())
+                    .collect::<Vec<_>>()
+                    .join(" · ")
+            };
+            let _ = write!(out, "  {label:<32} {:>12.1} ±{:>8.1}", c.mean, c.ci95);
+            if normalized {
+                match c.normalized {
+                    Some(n) => {
+                        let _ = write!(out, "  {n:>6.3}x");
+                    }
+                    None => {
+                        let _ = write!(out, "        ");
+                    }
+                }
+            }
+            if c.unfinished > 0 {
+                let _ = write!(out, "  [{} unfinished]", c.unfinished);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `0.95` → `"95"`, `0.999` → `"99.9"` (for `p95` / `p99.9` column names).
+fn fmt_quantile(q: f64) -> String {
+    let pct = q * 100.0;
+    if (pct - pct.round()).abs() < 1e-9 {
+        format!("{}", pct.round() as i64)
+    } else {
+        format!("{pct}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioDef;
+
+    fn tiny_def(extra: &str) -> ScenarioDef {
+        let text = format!(
+            "[campaign]\nname = tiny\nruns = 2\nseed = 5\n[tua]\nload = fixed:40:6:4\n{extra}"
+        );
+        ScenarioDef::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn single_cell_report_has_statistics() {
+        let report = run_scenario(&tiny_def("")).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.runs, 2);
+        assert!(cell.mean > 0.0);
+        assert!(cell.min <= cell.mean && cell.mean <= cell.max);
+        assert_eq!(cell.percentiles.len(), 3, "default percentiles 50/95/99");
+        assert!(cell.normalized.is_none(), "no baseline configured");
+    }
+
+    #[test]
+    fn runs_are_reproducible_across_invocations() {
+        let a = run_scenario(&tiny_def("[sweep]\nsetup = rp,cba\n")).unwrap();
+        let b = run_scenario(&tiny_def("[sweep]\nsetup = rp,cba\n")).unwrap();
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.mean, y.mean);
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+
+    #[test]
+    fn baseline_normalization_matches_group() {
+        let def = tiny_def(
+            "[sweep]\nsetup = rp,cba\nscenario = iso,con\n[report]\nbaseline = setup=rp,scenario=iso\n",
+        );
+        let report = run_scenario(&def).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        let rp_iso = &report.cells[0];
+        assert_eq!(rp_iso.label("setup"), Some("RP"));
+        assert_eq!(rp_iso.label("scenario"), Some("ISO"));
+        assert_eq!(rp_iso.normalized, Some(1.0), "baseline normalizes to 1");
+        for c in &report.cells {
+            let expect = c.mean / rp_iso.mean;
+            assert!((c.normalized.unwrap() - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn missing_baseline_is_an_error() {
+        let def = tiny_def("[sweep]\nsetup = rp,cba\n[report]\nbaseline = setup=hcba\n");
+        let err = run_scenario(&def).unwrap_err();
+        assert!(err.msg.contains("matches no cell"), "{err}");
+    }
+
+    #[test]
+    fn json_and_csv_outputs_are_well_formed() {
+        let def = tiny_def("[sweep]\nsetup = rp,cba\n[report]\nbaseline = setup=rp\n");
+        let report = run_scenario(&def).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"name\": \"tiny\""));
+        assert!(json.contains("\"setup\": \"RP\""));
+        assert!(json.contains("\"normalized\": 1"));
+        assert!(json.contains("\"p95\":"));
+
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(
+            header,
+            "setup,seed,runs,unfinished,mean_cycles,ci95,min,max,p50,p95,p99,utilization,normalized,normalized_ci95"
+        );
+        assert_eq!(lines.count(), 2, "one row per cell");
+    }
+
+    #[test]
+    fn trace_cells_expose_burst_metrics() {
+        let def = tiny_def("[contenders]\ntrace = on\n");
+        let report = run_scenario(&def).unwrap();
+        let cell = &report.cells[0];
+        assert!(cell.tua_max_burst.is_some());
+        assert!(cell.contender_max_gap.is_some());
+        let csv = report.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("tua_max_burst,contender_max_gap"));
+    }
+
+    #[test]
+    fn table_renders_one_line_per_cell() {
+        let def = tiny_def("[sweep]\nscenario = iso,con\n");
+        let report = run_scenario(&def).unwrap();
+        let table = report.render_table();
+        assert!(table.contains("ISO"));
+        assert!(table.contains("CON"));
+        assert_eq!(table.lines().count(), 3, "header + two cells");
+    }
+}

@@ -1,0 +1,229 @@
+//! Dependency-free structured-result emission: a minimal JSON value tree
+//! and CSV field escaping.
+//!
+//! Campaign reports need to leave the process in a machine-readable form
+//! (plots, regression dashboards, spreadsheet imports) without pulling in
+//! `serde` — the workspace builds offline with zero external crates. This
+//! module provides the two formats the scenario engine exports:
+//!
+//! * [`Json`] — a small JSON value tree with a pretty renderer. Numbers
+//!   are `f64` (like JSON itself); non-finite values render as `null`.
+//! * [`csv_field`] — RFC-4180 field quoting for the CSV writer.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::export::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::str("paper_fig1")),
+//!     ("cells", Json::Arr(vec![Json::Num(1.0), Json::Num(3.34)])),
+//! ]);
+//! let text = doc.render();
+//! assert!(text.contains("\"name\": \"paper_fig1\""));
+//! assert!(text.contains("3.34"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An optional number: `None` renders as `null`.
+    pub fn opt_num(x: Option<f64>) -> Json {
+        match x {
+            Some(v) => Json::Num(v),
+            None => Json::Null,
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, trailing
+    /// newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_number(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Formats a finite float for machine-readable exports: integral values
+/// within 2^53 (where every integer is exactly representable) print
+/// without a fractional part, everything else uses Rust's
+/// shortest-roundtrip formatting. Shared by the JSON writer and the CSV
+/// report columns so both exports format a given value identically.
+pub fn fmt_number(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity.
+        out.push_str("null");
+    } else {
+        let _ = write!(out, "{}", fmt_number(x));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Quotes one CSV field per RFC 4180: fields containing commas, quotes or
+/// newlines are wrapped in double quotes with embedded quotes doubled.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let doc = Json::obj([
+            ("a", Json::Num(1.5)),
+            ("b", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("c", Json::obj([("d", Json::str("x"))])),
+        ]);
+        let text = doc.render();
+        assert_eq!(
+            text,
+            "{\n  \"a\": 1.5,\n  \"b\": [\n    null,\n    true\n  ],\n  \"c\": {\n    \"d\": \"x\"\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn integral_floats_print_without_fraction() {
+        assert_eq!(Json::Num(1000.0).render(), "1000\n");
+        assert_eq!(Json::Num(-3.0).render(), "-3\n");
+        assert_eq!(Json::Num(0.25).render(), "0.25\n");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+        assert_eq!(Json::opt_num(None).render(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+    }
+}

@@ -1,39 +1,9 @@
-//! Cycle-level simulation kernel shared by every crate of the CBA
-//! reproduction.
-//!
-//! This crate provides the small, dependency-light substrate on which the
-//! bus, cache, CPU and platform models are built:
-//!
-//! * [`Cycle`] — simulated time, a plain `u64` cycle counter.
-//! * [`CoreId`] — a validated identity for one core of the multicore.
-//! * [`rng::SimRng`] — deterministic, forkable random-number streams so that
-//!   every simulation run is reproducible from `(config, seed)`.
-//! * [`lfsr::LfsrBank`] — a model of the APRANDBANK hardware random-bit bank
-//!   used by the paper's FPGA prototype (bank of Galois LFSRs).
-//! * [`stats`] — Welford summaries, histograms and percentile helpers used to
-//!   aggregate Monte-Carlo campaigns.
-//! * [`trace`] — bus grant traces and the cycle/slot fairness metrics that
-//!   the paper's argument revolves around.
-//!
-//! # Example
-//!
-//! ```
-//! use sim_core::{CoreId, rng::SimRng, stats::Summary};
-//!
-//! let mut rng = SimRng::seed_from(42);
-//! let mut summary = Summary::new();
-//! for _ in 0..100 {
-//!     summary.record(rng.gen_range_u64(0..1000) as f64);
-//! }
-//! assert_eq!(summary.count(), 100);
-//! let core = CoreId::new(0, 4).expect("core 0 of 4 is valid");
-//! assert_eq!(core.index(), 0);
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod export;
 pub mod lfsr;
 pub mod rng;
 pub mod stats;

@@ -1,39 +1,4 @@
-//! Synthetic EEMBC-Autobench-like workloads for the CBA platform.
-//!
-//! The paper evaluates on four benchmarks of the (proprietary) EEMBC
-//! Autobench suite — `cacheb`, `canrdr`, `matrix` and `tblook` — plus
-//! always-streaming co-runners. We cannot ship EEMBC sources; per the
-//! documented substitution, each benchmark is replaced by a *synthetic
-//! generator* ([`SyntheticEembc`]) reproducing the properties that matter
-//! at the bus level:
-//!
-//! * **bus-access density** — how often an operation needs the bus
-//!   (controls the baseline slowdown under contention);
-//! * **burst structure** — how clustered bus accesses are in time. This is
-//!   the decisive dial for credit-based arbitration: during a *dense*
-//!   phase, WCET-mode contenders exhaust their budgets and the task sails
-//!   through (CBA wins big over slot-fair RP), while for *isolated*
-//!   accesses every contender has recovered and CBA ≈ RP — with the task's
-//!   own budget-recovery stalls making CBA marginally worse, which is
-//!   exactly the paper's `tblook` anomaly;
-//! * **working-set size and access randomness** — control L1/L2 hit rates
-//!   (hence the request-duration mix) and the run-to-run variance induced
-//!   by random cache placement (the paper's cache-sensitivity discussion).
-//!
-//! The per-benchmark parameterizations live in [`suite`]; [`by_name`] and
-//! [`fig1_suite`] are the lookup points used by the experiment harnesses.
-//!
-//! # Example
-//!
-//! ```
-//! use cba_workloads::{by_name, fig1_suite};
-//!
-//! let names: Vec<&str> = fig1_suite().iter().map(|p| p.name).collect();
-//! assert_eq!(names, ["cacheb", "canrdr", "matrix", "tblook"]);
-//! let mut program = by_name("matrix").expect("matrix is in the catalog");
-//! assert_eq!(cba_cpu::Program::name(&*program), "matrix");
-//! ```
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -54,10 +19,17 @@ pub fn by_name(name: &str) -> Option<Box<dyn Program>> {
     if name == "streaming" {
         return Some(Box::new(Streaming::new(20_000)));
     }
-    suite::all_profiles()
-        .iter()
-        .find(|p| p.name == name)
-        .map(|p| Box::new(SyntheticEembc::new(p.clone())) as Box<dyn Program>)
+    profile_by_name(name).map(|p| Box::new(SyntheticEembc::new(p)) as Box<dyn Program>)
+}
+
+/// Looks up a catalog benchmark's [`EembcProfile`] by name.
+///
+/// Unlike [`by_name`] this returns the raw parameterization, so callers
+/// (e.g. scenario files sweeping burstiness knobs) can override fields
+/// before instantiating the generator. Returns `None` for unknown names,
+/// including `"streaming"` (which has no profile).
+pub fn profile_by_name(name: &str) -> Option<EembcProfile> {
+    suite::all_profiles().into_iter().find(|p| p.name == name)
 }
 
 #[cfg(test)]
@@ -71,6 +43,14 @@ mod tests {
         }
         assert!(by_name("streaming").is_some());
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn profile_lookup_returns_the_catalog_entry() {
+        let p = profile_by_name("matrix").expect("matrix is in the catalog");
+        assert_eq!(p, suite::matrix());
+        assert!(profile_by_name("streaming").is_none());
+        assert!(profile_by_name("nonexistent").is_none());
     }
 
     #[test]

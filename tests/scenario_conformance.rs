@@ -1,0 +1,165 @@
+//! Conformance of the shipped scenario files to the Rust experiment
+//! drivers, plus golden round-trips of the scenario format.
+//!
+//! The contract under test: `scenarios/paper_fig1.scn` expands to
+//! exactly the `BusSetup::paper_setups()` × `Scenario` grid that
+//! `cba_platform::experiments::fig1` runs — same cells, same order, same
+//! per-cell seeds, same specs — so the CLI and the Rust API reproduce
+//! identical Figure-1 numbers.
+
+use cba_platform::experiments::fig1_def;
+use cba_platform::scenario::{AxisValue, ScenarioDef, TuaSpec};
+use cba_platform::BusSetup;
+use cba_workloads::suite;
+use std::path::{Path, PathBuf};
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn read_scn(name: &str) -> String {
+    let path = scenarios_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+#[test]
+fn paper_fig1_scn_expands_to_the_paper_grid() {
+    let def = ScenarioDef::parse(&read_scn("paper_fig1.scn")).expect("shipped file parses");
+    assert_eq!(def.runs, 1000, "the paper uses 1,000 runs per bar");
+    assert_eq!(def.seed, 2017);
+    let cells = def.expand().expect("shipped file expands");
+
+    let benchmarks = suite::fig1_suite();
+    let setups = BusSetup::paper_setups();
+    assert_eq!(cells.len(), benchmarks.len() * setups.len() * 2);
+
+    let mut i = 0;
+    for (bi, profile) in benchmarks.iter().enumerate() {
+        for (si, setup) in setups.iter().enumerate() {
+            for (ci, scenario) in ["ISO", "CON"].into_iter().enumerate() {
+                let cell = &cells[i];
+                assert_eq!(cell.label("bench"), Some(profile.name), "cell {i}");
+                assert_eq!(
+                    cell.label("setup"),
+                    Some(setup.label().as_str()),
+                    "cell {i}"
+                );
+                assert_eq!(cell.label("scenario"), Some(scenario), "cell {i}");
+                // The driver's seed derivation, bit for bit.
+                assert_eq!(
+                    cell.seed,
+                    def.seed ^ ((bi as u64) << 40 | (si as u64) << 20 | ci as u64),
+                    "cell {i}"
+                );
+                // The spec matches the Rust driver's RunSpec::paper shape.
+                let spec = &cell.spec;
+                assert_eq!(spec.platform.n_cores, 4);
+                assert_eq!(spec.platform.latency.max_latency(), 56);
+                assert_eq!(
+                    spec.platform.cba.is_some(),
+                    !matches!(setup, BusSetup::Rp),
+                    "cell {i}"
+                );
+                assert_eq!(spec.wcet_mode, scenario == "CON", "cell {i}");
+                assert_eq!(spec.loads.len(), 4);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_fig1_scn_is_structurally_identical_to_fig1_def() {
+    let parsed = ScenarioDef::parse(&read_scn("paper_fig1.scn")).expect("parses");
+    let programmatic = fig1_def(&suite::fig1_suite(), parsed.runs, parsed.seed);
+
+    let file_cells = parsed.expand().expect("file expands");
+    let driver_cells = programmatic.expand().expect("driver def expands");
+    assert_eq!(file_cells.len(), driver_cells.len());
+    for (f, d) in file_cells.iter().zip(&driver_cells) {
+        assert_eq!(f.labels, d.labels);
+        assert_eq!(f.seed, d.seed);
+        // RunSpec has no PartialEq (trait objects downstream); the Debug
+        // rendering covers every field, including the resolved profiles.
+        assert_eq!(format!("{:?}", f.spec), format!("{:?}", d.spec));
+    }
+    // The report shaping (RP-ISO normalization) matches too.
+    assert_eq!(parsed.report, programmatic.report);
+}
+
+#[test]
+fn paper_fig1_cell_means_match_the_fig1_driver_bit_for_bit() {
+    // Numeric equivalence on a trimmed grid: the parsed file, restricted
+    // to a short benchmark, must reproduce the fig1() driver exactly
+    // (same seeds, same specs => same floats).
+    let mut quick = suite::rspeed();
+    quick.accesses = 300;
+
+    let mut def = ScenarioDef::parse(&read_scn("paper_fig1.scn")).expect("parses");
+    def.runs = 3;
+    def.template.tua = TuaSpec::Profile {
+        name: "rspeed".into(),
+        overrides: vec![("accesses".into(), "300".into())],
+    };
+    let bench_axis = def
+        .axes
+        .iter_mut()
+        .find(|a| a.key == "bench")
+        .expect("bench axis");
+    bench_axis.values = vec![AxisValue::Raw("rspeed".into())];
+
+    let report = cba_platform::run_scenario(&def).expect("trimmed grid runs");
+    let driver = cba_platform::experiments::fig1(&[quick], 3, def.seed);
+
+    assert_eq!(report.cells.len(), driver.len());
+    for (cell, bar) in report.cells.iter().zip(&driver) {
+        assert_eq!(cell.label("setup"), Some(bar.setup.as_str()));
+        assert_eq!(cell.label("scenario"), Some(bar.scenario));
+        assert_eq!(cell.mean, bar.mean_cycles, "means must be bit-identical");
+        assert_eq!(cell.normalized, Some(bar.normalized));
+        assert_eq!(cell.normalized_ci95, Some(bar.ci95));
+    }
+}
+
+#[test]
+fn every_shipped_scenario_parses_expands_and_round_trips() {
+    let dir = scenarios_dir();
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("scn") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable scenario");
+        let def =
+            ScenarioDef::parse(&text).unwrap_or_else(|e| panic!("{path:?} fails to parse: {e}"));
+        let cells = def
+            .expand()
+            .unwrap_or_else(|e| panic!("{path:?} fails to expand: {e}"));
+        assert!(!cells.is_empty(), "{path:?} expands to nothing");
+
+        // parse -> expand -> re-render -> parse is lossless.
+        let rendered = def.render();
+        let reparsed = ScenarioDef::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{path:?} render does not re-parse: {e}\n{rendered}"));
+        assert_eq!(def, reparsed, "{path:?} render round-trip");
+        let recells = reparsed.expand().expect("re-rendered def expands");
+        for (a, b) in cells.iter().zip(&recells) {
+            assert_eq!(a.labels, b.labels, "{path:?}");
+            assert_eq!(a.seed, b.seed, "{path:?}");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 6, "expected the shipped grids, found {checked}");
+}
+
+#[test]
+fn paper_fig1_renders_to_the_golden_canonical_form() {
+    let def = ScenarioDef::parse(&read_scn("paper_fig1.scn")).expect("parses");
+    let golden = include_str!("data/paper_fig1.rendered.scn");
+    assert_eq!(
+        def.render(),
+        golden,
+        "canonical render drifted; update tests/data/paper_fig1.rendered.scn"
+    );
+}
