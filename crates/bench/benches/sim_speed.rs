@@ -1,31 +1,154 @@
-//! Criterion benchmark of end-to-end simulation throughput: full-platform
-//! runs (4 cores + caches + bus + credit filter), reported per run so the
-//! cost of Monte-Carlo campaigns can be budgeted.
+//! End-to-end simulator throughput: the naive per-cycle loop versus the
+//! event-horizon fast path, in simulated **cycles per second**.
+//!
+//! For each scenario the same seeded runs execute under both engines
+//! (`DriveMode::Naive` / `DriveMode::Events`); the results are asserted
+//! bit-identical, wall time is measured, and a machine-readable summary is
+//! written to `BENCH_sim_speed.json` (via `sim_core::export`) so CI can
+//! record the perf trajectory. `CBA_RUNS` scales the per-spec run count
+//! (smoke mode in CI); `CBA_SEED` sets the master seed.
+//!
+//! Expected shape: multi-× speedups wherever the bus is idle for long
+//! stretches (TDMA slot waits, credit-recovery gaps) or held by long
+//! transactions (MaxL contenders), smaller but real wins on the cache-model
+//! Figure-1 workloads whose compute phases still step per cycle.
 
-use cba_platform::{run_once, BusSetup, CoreLoad, RunSpec, Scenario};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use cba_bench::{print_row, rule, runs_from_env, seed_from_env};
+use cba_platform::scenario::ScenarioDef;
+use cba_platform::{run_once, DriveMode, RunResult, RunSpec};
+use sim_core::export::Json;
+use std::time::Instant;
 
-fn bench_run_once(c: &mut Criterion) {
-    let mut group = c.benchmark_group("run_once");
-    group.sample_size(20);
-    for (label, setup) in [("rp", BusSetup::Rp), ("cba", BusSetup::Cba)] {
-        for (scen_label, scenario) in [
-            ("iso", Scenario::Isolation),
-            ("con", Scenario::MaxContention),
-        ] {
-            let spec = RunSpec::paper(setup.clone(), scenario.clone(), CoreLoad::named("canrdr"));
-            let mut seed = 0u64;
-            group.bench_function(format!("canrdr_{label}_{scen_label}"), |b| {
-                b.iter(|| {
-                    seed += 1;
-                    black_box(run_once(&spec, seed))
-                })
-            });
-        }
-    }
-    group.finish();
+/// One benchmark scenario: a label and the specs it runs.
+struct Case {
+    name: &'static str,
+    what: &'static str,
+    specs: Vec<RunSpec>,
 }
 
-criterion_group!(benches, bench_run_once);
-criterion_main!(benches);
+fn specs_of(text: &str) -> Vec<RunSpec> {
+    ScenarioDef::parse(text)
+        .expect("bench scenario parses")
+        .expand()
+        .expect("bench scenario expands")
+        .into_iter()
+        .map(|cell| cell.spec)
+        .collect()
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "paper_fig1",
+            what: "canrdr through the core model, {RP,CBA} x {ISO,CON}",
+            specs: specs_of(
+                "[campaign]\nname = b\n[tua]\nload = bench:canrdr\n\
+                 [sweep]\nsetup = rp,cba\nscenario = iso,con\n",
+            ),
+        },
+        Case {
+            name: "illustrative",
+            what: "fixed 1000x(6+4) TuA vs 3 streaming 28-cycle co-runners, RR+CBA",
+            specs: specs_of(
+                "[campaign]\nname = b\n[platform]\npolicy = rr\ncba = homog\n\
+                 [tua]\nload = fixed:1000:6:4\n[contenders]\nfill = sat:28\nwcet = off\n",
+            ),
+        },
+        Case {
+            name: "tdma_idle",
+            what: "TDMA slots with a lone fixed-request TuA (idle-heavy)",
+            specs: specs_of(
+                "[campaign]\nname = b\n[platform]\npolicy = tdma\n\
+                 [tua]\nload = fixed:1000:6:4\n[contenders]\nscenario = iso\n",
+            ),
+        },
+        Case {
+            name: "credit_recovery",
+            what: "CBA WCET mode: MaxL contenders gated by budget recovery",
+            specs: specs_of(
+                "[campaign]\nname = b\n[platform]\ncba = homog\n\
+                 [tua]\nload = fixed:500:6:4\n[contenders]\nscenario = con\n",
+            ),
+        },
+    ]
+}
+
+/// Executes every (spec, run) of a case under `mode`; returns (simulated
+/// cycles, elapsed seconds, the full run results for the identity check).
+fn measure(case: &Case, runs: usize, seed: u64, mode: DriveMode) -> (u64, f64, Vec<RunResult>) {
+    let mut cycles = 0u64;
+    let mut results = Vec::with_capacity(case.specs.len() * runs);
+    let start = Instant::now();
+    for (si, spec) in case.specs.iter().enumerate() {
+        let mut spec = spec.clone();
+        spec.drive = mode;
+        for run in 0..runs {
+            let result = run_once(&spec, seed ^ ((si as u64) << 32 | run as u64));
+            cycles += result.total_cycles;
+            results.push(result);
+        }
+    }
+    (cycles, start.elapsed().as_secs_f64(), results)
+}
+
+fn main() {
+    let runs = runs_from_env(20);
+    let seed = seed_from_env();
+    println!("sim_speed: {runs} runs per spec, seed {seed}");
+    rule(86);
+    print_row(&[
+        ("scenario", 16),
+        ("sim cycles", 14),
+        ("naive cyc/s", 14),
+        ("events cyc/s", 14),
+        ("speedup", 10),
+    ]);
+    rule(86);
+
+    let mut rows = Vec::new();
+    for case in cases() {
+        let (naive_cycles, naive_secs, naive_results) =
+            measure(&case, runs, seed, DriveMode::Naive);
+        let (event_cycles, event_secs, event_results) =
+            measure(&case, runs, seed, DriveMode::Events);
+        assert_eq!(
+            naive_results, event_results,
+            "{}: engines disagree on run results",
+            case.name
+        );
+        let naive_rate = naive_cycles as f64 / naive_secs;
+        let event_rate = event_cycles as f64 / event_secs;
+        let speedup = event_rate / naive_rate;
+        print_row(&[
+            (case.name, 16),
+            (&format!("{naive_cycles}"), 14),
+            (&format!("{naive_rate:.3e}"), 14),
+            (&format!("{event_rate:.3e}"), 14),
+            (&format!("{speedup:.2}x"), 10),
+        ]);
+        rows.push(Json::obj([
+            ("name", Json::str(case.name)),
+            ("what", Json::str(case.what)),
+            ("specs", Json::Num(case.specs.len() as f64)),
+            ("simulated_cycles", Json::Num(naive_cycles as f64)),
+            ("naive_seconds", Json::Num(naive_secs)),
+            ("events_seconds", Json::Num(event_secs)),
+            ("naive_cycles_per_sec", Json::Num(naive_rate)),
+            ("events_cycles_per_sec", Json::Num(event_rate)),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+    rule(86);
+
+    let doc = Json::obj([
+        ("bench", Json::str("sim_speed")),
+        ("runs_per_spec", Json::Num(runs as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("scenarios", Json::Arr(rows)),
+    ]);
+    // Cargo runs benches with the package directory as CWD; anchor the
+    // artifact at the workspace root so CI finds it in one place.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_speed.json");
+    std::fs::write(path, doc.render()).expect("write BENCH_sim_speed.json");
+    println!("sim_speed: wrote {path}");
+}

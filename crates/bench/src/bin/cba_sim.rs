@@ -14,15 +14,25 @@
 //! Both modes accept `--out results.json|csv` for structured export.
 
 use cba_platform::report::{run_scenario_with, CellReport, ScenarioReport};
-use cba_platform::scenario::{parse_cba_spec, parse_load_spec, parse_policy, ScenarioDef};
-use cba_platform::{Campaign, CoreLoad, PlatformConfig, RunSpec, Scenario};
+use cba_platform::scenario::{
+    parse_cba_spec, parse_engine, parse_load_spec, parse_policy, ScenarioDef,
+};
+use cba_platform::{Campaign, CoreLoad, DriveMode, PlatformConfig, RunSpec, Scenario};
 
 const USAGE: &str = "\
 usage: cba_sim --scenario-file FILE [--runs N] [--seed S] [--threads N]
-               [--out FILE] [--format json|csv]
+               [--engine events|naive] [--out FILE] [--format json|csv]
        cba_sim [--policy fifo|rr|tdma|lot|rp|pri] [--cba none|homog|hcba|w:a,b,..]
                [--bench NAME | --loads SPEC] [--scenario iso|con] [--wcet]
-               [--runs N] [--seed S] [--cores N] [--out FILE] [--format json|csv]
+               [--runs N] [--seed S] [--cores N] [--engine events|naive]
+               [--out FILE] [--format json|csv]
+
+--threads N   worker threads for the grid-wide run executor (0 = one per
+              hardware thread); every (cell x run) task of a campaign is
+              scheduled on one shared pool
+--engine      cycle loop: 'events' (event-horizon fast path, default) or
+              'naive' (per-cycle reference loop, for debugging); results
+              are bit-identical either way
 
 load SPEC entries (comma-separated, first entry = core 0, the TuA):
     bench:NAME             catalog benchmark through the core model
@@ -79,6 +89,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut format: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut engine: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -128,6 +139,7 @@ fn main() {
                         .unwrap_or_else(|_| usage("bad --threads")),
                 )
             }
+            "--engine" => engine = Some(val("--engine")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0)
@@ -176,7 +188,7 @@ fn main() {
                     ignored.join(", ")
                 ));
             }
-            run_scenario_file(&path, runs, seed, threads)
+            run_scenario_file(&path, runs, seed, threads, engine)
         }
         None => run_flag_mode(
             policy.as_deref().unwrap_or("rp"),
@@ -189,6 +201,7 @@ fn main() {
             seed,
             cores.unwrap_or(4),
             threads,
+            engine,
         ),
     };
 
@@ -213,6 +226,7 @@ fn run_scenario_file(
     runs: Option<usize>,
     seed: Option<u64>,
     threads: Option<usize>,
+    engine: Option<String>,
 ) -> ScenarioReport {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
@@ -226,6 +240,10 @@ fn run_scenario_file(
     if let Some(t) = threads {
         // 0 = auto, like the file's `threads` key.
         def.threads = if t == 0 { None } else { Some(t) };
+    }
+    if let Some(e) = engine {
+        parse_engine(&e).unwrap_or_else(|e| usage(&e));
+        def.template.engine = e;
     }
     eprintln!(
         "cba-sim: scenario '{}' from {path}: {} cells x {} runs, seed {}",
@@ -259,9 +277,13 @@ fn run_flag_mode(
     seed: Option<u64>,
     cores: usize,
     threads: Option<usize>,
+    engine: Option<String>,
 ) -> ScenarioReport {
     let runs = runs.unwrap_or(30);
     let seed = seed.unwrap_or(2017);
+    let drive = engine
+        .map(|e| parse_engine(&e).unwrap_or_else(|e| usage(&e)))
+        .unwrap_or(DriveMode::Events);
     let policy_kind = parse_policy(policy).unwrap_or_else(|e| usage(&e));
     let setup = cba_platform::BusSetup::Custom {
         policy: policy_kind,
@@ -295,6 +317,7 @@ fn run_flag_mode(
         (None, None) => usage("one of --scenario-file, --bench or --loads is required"),
     };
     spec.wcet_mode = wcet;
+    spec.drive = drive;
     if let Err(e) = spec.validate() {
         usage(&e);
     }

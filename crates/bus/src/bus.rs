@@ -438,20 +438,91 @@ impl Bus {
         sim_core::BusModel::tick(self, now)
     }
 
+    /// The bus's event horizon for the fast-forward engine (see
+    /// [`BusModel::next_event`](sim_core::BusModel::next_event) for the
+    /// contract): assuming no client interaction,
+    ///
+    /// * a busy bus is silent until the in-flight transaction's `ends_at`;
+    /// * an idle bus with a privileged reservation grants next cycle;
+    /// * an idle bus with pending requests can only grant when the filter
+    ///   flips a verdict or the policy opens a window (TDMA slot start) —
+    ///   both reported by their event hooks, either of which can decline
+    ///   (`None` here = step per cycle);
+    /// * an idle, empty bus has no event at all (`Cycle::MAX`): credits
+    ///   just recover, in closed form, inside [`Bus::advance`].
+    pub fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        match self.state {
+            BusState::Busy { ends_at, .. } => Some(ends_at),
+            BusState::Idle => {
+                if !self.privileged.is_empty() {
+                    return Some(now + 1);
+                }
+                if self.pending.is_empty() {
+                    return Some(Cycle::MAX);
+                }
+                // Which pending requests would pass the filter at the next
+                // arbitration (cycle now + 1, i.e. after this cycle's
+                // filter tick)?
+                self.pending.candidates_into(&mut self.scratch);
+                let filter = &self.filter;
+                self.scratch.retain(|c| filter.is_eligible(c.core, now + 1));
+                if !self.scratch.is_empty() && self.policy.is_work_conserving() {
+                    // A work-conserving policy grants as soon as it sees an
+                    // eligible candidate: no skipping.
+                    return Some(now + 1);
+                }
+                let flip = match self.filter.next_eligibility_flip(now, &self.pending) {
+                    crate::policy::FilterHorizon::Unknown => return None,
+                    crate::policy::FilterHorizon::Static => Cycle::MAX,
+                    crate::policy::FilterHorizon::At(t) => t,
+                };
+                let window = if self.scratch.is_empty() {
+                    // Nobody to grant until a verdict flips.
+                    Cycle::MAX
+                } else {
+                    // Non-work-conserving policy (TDMA): its next window
+                    // over the frozen eligible set, if it can predict one.
+                    self.policy.next_grant_at(&self.scratch, now)?
+                };
+                Some(flip.min(window))
+            }
+        }
+    }
+
+    /// Bulk-advances the uneventful cycles `from + 1 ..= to - 1` (see
+    /// [`BusModel::advance`](sim_core::BusModel::advance)): cycle counters
+    /// accumulate, the filter state evolves under fixed occupancy, and the
+    /// monotonic-cycle cursor moves so the next [`Bus::begin_cycle`]`(to)`
+    /// is accepted. Grants, completions and RNG draws cannot occur in such
+    /// a range by the [`Bus::next_event`] contract, so traces and wait
+    /// statistics are untouched.
+    pub fn advance(&mut self, from: Cycle, to: Cycle) {
+        debug_assert!(!self.in_cycle, "advance between cycles only");
+        let k = (to - from).saturating_sub(1);
+        if k == 0 {
+            return;
+        }
+        let owner = self.owner();
+        self.total_cycles += k;
+        if owner.is_none() {
+            self.idle_cycles += k;
+        }
+        self.filter.advance(from + 1, k, owner, &self.pending);
+        self.last_cycle = Some(to - 1);
+    }
+
     /// Resets the bus (state, pending requests, statistics, policy and
-    /// filter state) for a fresh run. The random source is *not* reseeded —
-    /// replace it via [`Bus::set_random_source`] for seed control.
+    /// filter state) for a fresh run, reusing the trace and statistics
+    /// buffers instead of reallocating them. The random source is *not*
+    /// reseeded — replace it via [`Bus::set_random_source`] for seed
+    /// control.
     pub fn reset(&mut self) {
         self.state = BusState::Idle;
         self.pending.clear();
         self.privileged.clear();
         self.policy.reset();
         self.filter.reset();
-        self.trace = if self.trace.records().is_some() {
-            GrantTrace::recording(self.config.n_cores)
-        } else {
-            GrantTrace::counting(self.config.n_cores)
-        };
+        self.trace.clear();
         self.wait.reset();
         self.idle_cycles = 0;
         self.total_cycles = 0;
@@ -486,6 +557,14 @@ impl sim_core::BusModel for Bus {
 
     fn trace(&self) -> &GrantTrace {
         Bus::trace(self)
+    }
+
+    fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        Bus::next_event(self, now)
+    }
+
+    fn advance(&mut self, from: Cycle, to: Cycle) {
+        Bus::advance(self, from, to)
     }
 }
 
@@ -697,6 +776,100 @@ mod tests {
     fn end_without_begin_panics() {
         let mut bus = rr_bus(1);
         bus.end_cycle(0);
+    }
+
+    #[test]
+    fn next_event_reports_the_completion_horizon() {
+        let mut bus = rr_bus(2);
+        bus.post(req(0, 40, 0)).unwrap();
+        bus.tick(0); // grant: busy over [0, 40)
+        assert_eq!(bus.next_event(0), Some(40));
+        // Idle and empty: no bus-side event at all.
+        let mut empty = rr_bus(2);
+        empty.tick(0);
+        assert_eq!(empty.next_event(0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn next_event_refuses_to_skip_past_imminent_grants() {
+        // A pending, eligible request under a work-conserving policy means
+        // a grant can land next cycle.
+        let mut bus = rr_bus(2);
+        bus.begin_cycle(0);
+        bus.end_cycle(0);
+        bus.post(req(1, 5, 0)).unwrap();
+        assert_eq!(bus.next_event(0), Some(1));
+        // Same for a privileged reservation.
+        let mut bus = rr_bus(2);
+        bus.tick(0);
+        bus.post_privileged(req(0, 5, 0)).unwrap();
+        assert_eq!(bus.next_event(0), Some(1));
+    }
+
+    #[test]
+    fn next_event_uses_the_tdma_window() {
+        let config = BusConfig::new(2, 10).unwrap();
+        let mut bus = Bus::new(config, Box::new(Tdma::new(2, 10)));
+        bus.post(req(1, 5, 0)).unwrap();
+        bus.tick(0); // core 1 waits: its slot starts at cycle 10
+        assert_eq!(bus.next_event(0), Some(10));
+        // Stepping up to the window never grants; the window cycle does.
+        for now in 1..10 {
+            assert_eq!(bus.tick(now).granted, None);
+        }
+        assert_eq!(bus.tick(10).granted, Some(c(1)));
+    }
+
+    #[test]
+    fn next_event_declines_for_unpredictable_filters() {
+        // `Veto` keeps the default `Unknown` horizon: with a pending
+        // (ineligible) request the bus must refuse to skip.
+        let mut bus = rr_bus(2);
+        bus.set_filter(Box::new(Veto(c(0))));
+        bus.post(req(0, 5, 0)).unwrap();
+        bus.tick(0);
+        assert_eq!(bus.next_event(0), None);
+    }
+
+    #[test]
+    fn advance_accounts_skipped_cycles_like_stepping() {
+        // Busy stretch: skip the whole transaction body.
+        let mut fast = rr_bus(2);
+        fast.post(req(0, 40, 0)).unwrap();
+        fast.tick(0);
+        fast.advance(0, 40);
+        let done = fast.begin_cycle(40);
+        assert_eq!(done.unwrap().core, c(0));
+        assert_eq!(fast.end_cycle(40), None);
+
+        let mut slow = rr_bus(2);
+        slow.post(req(0, 40, 0)).unwrap();
+        for now in 0..=40u64 {
+            slow.tick(now);
+        }
+        assert_eq!(fast.total_cycles(), slow.total_cycles());
+        assert_eq!(fast.idle_cycles(), slow.idle_cycles());
+
+        // Idle stretch: idle cycles accumulate.
+        let mut bus = rr_bus(2);
+        bus.tick(0);
+        bus.advance(0, 100);
+        bus.tick(100);
+        assert_eq!(bus.total_cycles(), 101);
+        assert_eq!(bus.idle_cycles(), 101);
+    }
+
+    #[test]
+    fn reset_keeps_the_recording_mode_without_reallocating() {
+        let mut bus = rr_bus(2);
+        bus.enable_recording_trace();
+        bus.post(req(0, 5, 0)).unwrap();
+        bus.tick(0);
+        assert_eq!(bus.trace().records().unwrap().len(), 1);
+        bus.reset();
+        assert!(bus.trace().records().is_some(), "still recording");
+        assert_eq!(bus.trace().records().unwrap().len(), 0);
+        assert_eq!(bus.trace().total_slots(), 0);
     }
 
     #[test]

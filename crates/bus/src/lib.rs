@@ -10,8 +10,10 @@ pub mod split;
 
 pub use bus::{Bus, BusConfig, BusState, CompletedTransaction, TickOutcome, WaitStats};
 pub use pending::{Candidate, PendingSet};
-pub use policy::{ArbitrationPolicy, EligibilityFilter, NoFilter, PolicyKind, RandomSource};
-pub use sim_core::{drive, BusModel, Control, DriveOutcome};
+pub use policy::{
+    ArbitrationPolicy, EligibilityFilter, FilterHorizon, NoFilter, PolicyKind, RandomSource,
+};
+pub use sim_core::{drive, drive_events, BusModel, Control, DriveOutcome};
 
 use sim_core::{CoreId, Cycle};
 use std::fmt;

@@ -50,6 +50,20 @@ impl Tdma {
     pub fn is_slot_start(&self, now: Cycle) -> bool {
         now % self.slot_len as Cycle == 0
     }
+
+    /// The first slot-start cycle strictly after `now` whose slot belongs
+    /// to `core` — the next cycle at which a pending request by `core`
+    /// could possibly be granted.
+    pub fn next_slot_start_of(&self, core: CoreId, now: Cycle) -> Cycle {
+        let len = self.slot_len as Cycle;
+        let n = self.n_cores as Cycle;
+        // First whole slot strictly after `now`, then round up to the next
+        // slot index congruent to the core's position in the rotation.
+        let m0 = now / len + 1;
+        let want = core.index() as Cycle % n;
+        let m = m0 + (want + n - m0 % n) % n;
+        m * len
+    }
 }
 
 impl ArbitrationPolicy for Tdma {
@@ -72,6 +86,16 @@ impl ArbitrationPolicy for Tdma {
 
     fn is_work_conserving(&self) -> bool {
         false
+    }
+
+    /// TDMA's grant opportunities are pure functions of time: for a frozen
+    /// candidate set the next possible grant is the earliest upcoming slot
+    /// start owned by any waiting core.
+    fn next_grant_at(&self, candidates: &[Candidate], now: Cycle) -> Option<Cycle> {
+        candidates
+            .iter()
+            .map(|c| self.next_slot_start_of(c.core, now))
+            .min()
     }
 }
 
@@ -126,6 +150,44 @@ mod tests {
     #[test]
     fn reports_not_work_conserving() {
         assert!(!Tdma::new(4, 56).is_work_conserving());
+    }
+
+    #[test]
+    fn next_slot_start_of_finds_the_owned_boundary() {
+        let t = Tdma::new(4, 56);
+        // From mid-slot 0, core 1's next slot starts at 56, core 0's at
+        // 4 * 56 (the rotation must come all the way around).
+        assert_eq!(t.next_slot_start_of(CoreId::from_index(1), 10), 56);
+        assert_eq!(t.next_slot_start_of(CoreId::from_index(0), 10), 224);
+        // Exactly at a slot start, the *next* owned start is returned.
+        assert_eq!(t.next_slot_start_of(CoreId::from_index(0), 0), 224);
+        assert_eq!(t.next_slot_start_of(CoreId::from_index(2), 111), 112);
+        // Brute-force cross-check against is_slot_start/slot_owner.
+        for core in 0..3usize {
+            for now in 0..400u64 {
+                let t3 = Tdma::new(3, 10);
+                let predicted = t3.next_slot_start_of(CoreId::from_index(core), now);
+                let actual = (now + 1..)
+                    .find(|&c| t3.is_slot_start(c) && t3.slot_owner(c).index() == core)
+                    .unwrap();
+                assert_eq!(predicted, actual, "core {core} at {now}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_grant_at_matches_select() {
+        let mut t = Tdma::new(4, 56);
+        let mut rng = SimRng::seed_from(0);
+        let waiting = cands(&[1, 3]);
+        let predicted = t.next_grant_at(&waiting, 10).unwrap();
+        assert_eq!(predicted, 56, "core 1's slot is the nearest");
+        // No grant strictly before the prediction, a grant exactly at it.
+        for now in 11..predicted {
+            assert_eq!(t.select(&waiting, now, &mut rng), None, "at {now}");
+        }
+        assert_eq!(t.select(&waiting, predicted, &mut rng).unwrap().index(), 1);
+        assert_eq!(t.next_grant_at(&[], 10), None, "no waiters, no windows");
     }
 
     #[test]

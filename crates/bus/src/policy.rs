@@ -84,6 +84,45 @@ pub trait ArbitrationPolicy: std::fmt::Debug {
     fn is_work_conserving(&self) -> bool {
         true
     }
+
+    /// Event hook for the fast-forward engine, consulted only for
+    /// non-work-conserving policies: given that [`select`] just returned
+    /// `None` at `now` for this (non-empty) eligible candidate set, the
+    /// earliest future cycle at which `select` could return a winner for
+    /// the **same frozen set**.
+    ///
+    /// Returning `None` means "cannot predict", which disables cycle
+    /// skipping while candidates wait — always safe, and the default.
+    /// Work-conserving policies are never asked (they grant immediately,
+    /// so there is nothing to wait for). TDMA overrides this with its
+    /// next owned slot boundary.
+    ///
+    /// [`select`]: ArbitrationPolicy::select
+    fn next_grant_at(&self, candidates: &[Candidate], now: Cycle) -> Option<Cycle> {
+        let _ = (candidates, now);
+        None
+    }
+}
+
+/// How an [`EligibilityFilter`]'s verdicts can evolve over an
+/// interaction-free idle stretch (bus free, no grants, frozen pending
+/// set), as reported by
+/// [`EligibilityFilter::next_eligibility_flip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterHorizon {
+    /// No pending core's verdict can change: eligibility is frozen for the
+    /// whole stretch (e.g. [`NoFilter`], or a credit filter whose pending
+    /// cores are all already eligible or can never recover).
+    Static,
+    /// The earliest cycle at which some pending core's verdict can change
+    /// (for the credit filter: the first arbitration cycle at which a
+    /// recovering budget crosses the `MaxL` threshold, or a WCET-mode
+    /// `COMP` bit latches).
+    At(Cycle),
+    /// The filter cannot predict its own evolution; the engine must step
+    /// per cycle. This is the conservative default for filters that do not
+    /// opt into the fast path.
+    Unknown,
 }
 
 /// Per-cycle filter deciding which pending requests may be arbitrated.
@@ -121,6 +160,37 @@ pub trait EligibilityFilter: std::fmt::Debug {
         let _ = (now, owner, pending);
     }
 
+    /// Bulk-advances filter state by `k` cycles of **unchanged occupancy**:
+    /// exactly equivalent to `k` successive [`tick`] calls for cycles
+    /// `now, now + 1, ..., now + k - 1`, all with the same `owner` and the
+    /// same (frozen) `pending` set.
+    ///
+    /// The default literally loops [`tick`], so any filter is correct under
+    /// the fast-forward engine; filters with linear per-cycle state (the
+    /// credit counters) override this with an O(1) closed form.
+    ///
+    /// [`tick`]: EligibilityFilter::tick
+    fn advance(&mut self, now: Cycle, k: u64, owner: Option<CoreId>, pending: &PendingSet) {
+        for i in 0..k {
+            self.tick(now + i, owner, pending);
+        }
+    }
+
+    /// Event hook for the fast-forward engine: how the verdicts for the
+    /// cores in `pending` can evolve from cycle `now + 1` onwards,
+    /// assuming the bus stays free and the pending set frozen (so every
+    /// skipped cycle is an idle [`tick`](EligibilityFilter::tick)).
+    ///
+    /// [`FilterHorizon::At`]`(t)` promises that every verdict consulted by
+    /// arbitration strictly before cycle `t` equals the verdict at `now +
+    /// 1`; the engine stops any skip at `t` and re-runs the real protocol.
+    /// The default is [`FilterHorizon::Unknown`], which disables idle-bus
+    /// skipping for filters that have not opted in.
+    fn next_eligibility_flip(&self, now: Cycle, pending: &PendingSet) -> FilterHorizon {
+        let _ = (now, pending);
+        FilterHorizon::Unknown
+    }
+
     /// Resets internal state for a fresh run.
     fn reset(&mut self) {}
 }
@@ -145,6 +215,12 @@ impl EligibilityFilter for NoFilter {
 
     fn is_eligible(&self, _core: CoreId, _now: Cycle) -> bool {
         true
+    }
+
+    fn advance(&mut self, _now: Cycle, _k: u64, _owner: Option<CoreId>, _pending: &PendingSet) {}
+
+    fn next_eligibility_flip(&self, _now: Cycle, _pending: &PendingSet) -> FilterHorizon {
+        FilterHorizon::Static
     }
 }
 

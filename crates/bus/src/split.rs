@@ -316,6 +316,46 @@ impl SplitBus {
     pub fn tick(&mut self, now: Cycle) -> sim_core::TickOutcome<SplitCompletion> {
         sim_core::BusModel::tick(self, now)
     }
+
+    /// The split bus's event horizon (see
+    /// [`BusModel::next_event`](sim_core::BusModel::next_event)): the
+    /// earlier of the underlying bus's event and the memory channel's
+    /// completion. Any queued hand-off (an accepted post awaiting
+    /// submission, a response awaiting its privileged reservation, or a
+    /// memory access awaiting service) resolves next cycle, so those
+    /// states report `now + 1` (no skipping).
+    pub fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        if !self.pending_posts.is_empty() || !self.resp_queue.is_empty() {
+            return Some(now + 1);
+        }
+        if self.mem_done_at.is_none() && !self.mem_queue.is_empty() {
+            return Some(now + 1);
+        }
+        let inner = self.inner.next_event(now)?;
+        Some(match self.mem_done_at {
+            Some(t) => inner.min(t),
+            None => inner,
+        })
+    }
+
+    /// Bulk-advances the uneventful range on the underlying bus; the split
+    /// bus's own state machines are event-driven and have nothing to
+    /// account per cycle.
+    pub fn advance(&mut self, from: Cycle, to: Cycle) {
+        self.inner.advance(from, to);
+    }
+
+    /// Resets the split bus for a fresh run, reusing the underlying bus's
+    /// trace/statistics buffers and this layer's queues (see
+    /// [`Bus::reset`]).
+    pub fn reset(&mut self) {
+        self.inner.reset();
+        self.states.fill(CoreState::Idle);
+        self.mem_queue.clear();
+        self.mem_done_at = None;
+        self.resp_queue.clear();
+        self.pending_posts.clear();
+    }
 }
 
 /// The split bus speaks the same cycle protocol as [`Bus`]; requests are
@@ -344,6 +384,14 @@ impl sim_core::BusModel for SplitBus {
 
     fn trace(&self) -> &sim_core::trace::GrantTrace {
         self.inner.trace()
+    }
+
+    fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        SplitBus::next_event(self, now)
+    }
+
+    fn advance(&mut self, from: Cycle, to: Cycle) {
+        SplitBus::advance(self, from, to)
     }
 }
 
@@ -500,6 +548,52 @@ mod tests {
             done >= 200 + 56,
             "filter must defer the grant to cycle 200+: {done}"
         );
+    }
+
+    #[test]
+    fn next_event_covers_the_memory_channel() {
+        let mut bus = mk();
+        bus.post(c(0), SplitRequest::Split).unwrap();
+        // The accepted post is submitted at the next tick: no skipping.
+        assert_eq!(sim_core::BusModel::next_event(&mut bus, 0), Some(1));
+        bus.tick(0); // command phase granted: bus busy [0, 5)
+        assert_eq!(sim_core::BusModel::next_event(&mut bus, 0), Some(5));
+        for now in 1..=5u64 {
+            bus.tick(now);
+        }
+        // Command completed at 5 and the memory access entered service in
+        // the same begin_cycle: the 28-cycle memory completion bounds the
+        // horizon while the bus itself is idle.
+        assert_eq!(sim_core::BusModel::next_event(&mut bus, 5), Some(5 + 28));
+        // At the memory completion the response queues; the privileged
+        // reservation then forbids skipping until it is granted.
+        for now in 6..=33u64 {
+            bus.tick(now);
+        }
+        assert_eq!(bus.inner().trace().slots(c(0)), 2, "response granted");
+    }
+
+    #[test]
+    fn reset_clears_split_state_and_reuses_buffers() {
+        let mut bus = mk();
+        bus.post(c(0), SplitRequest::Split).unwrap();
+        bus.post(c(1), SplitRequest::Atomic { duration: 56 })
+            .unwrap();
+        for now in 0..20u64 {
+            bus.tick(now);
+        }
+        bus.reset();
+        assert!(bus.is_idle(c(0)));
+        assert!(bus.is_idle(c(1)));
+        assert_eq!(bus.inner().trace().total_slots(), 0);
+        assert_eq!(bus.inner().total_cycles(), 0);
+        // A fresh run from cycle 0 behaves like a new bus.
+        bus.post(c(0), SplitRequest::Immediate { duration: 5 })
+            .unwrap();
+        for now in 0..10u64 {
+            bus.tick(now);
+        }
+        assert_eq!(bus.inner().trace().busy_cycles(c(0)), 5);
     }
 
     #[test]

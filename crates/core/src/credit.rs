@@ -107,6 +107,33 @@ impl CreditCounter {
         }
     }
 
+    /// Advances `k` idle cycles at once: exactly `k` successive
+    /// [`tick`](CreditCounter::tick)`(false)` calls in O(1).
+    ///
+    /// Recovery is monotone and the cap applies per step, so the closed
+    /// form is a single saturating add-and-clamp.
+    #[inline]
+    pub fn advance_idle(&mut self, k: u64) {
+        self.value = self
+            .value
+            .saturating_add(self.num.saturating_mul(k))
+            .min(self.cap);
+    }
+
+    /// Advances `k` bus-holding cycles at once: exactly `k` successive
+    /// [`tick`](CreditCounter::tick)`(true)` calls in O(1).
+    ///
+    /// Each holding step nets `-(den - num)` until the value drops below
+    /// `den - num`, after which one more step saturates it to 0 where it
+    /// stays — which is a single saturating subtraction of `k * (den -
+    /// num)` (the cap never engages because `num <= den`).
+    #[inline]
+    pub fn advance_holding(&mut self, k: u64) {
+        self.value = self
+            .value
+            .saturating_sub((self.den - self.num).saturating_mul(k));
+    }
+
     /// Resets to `initial` (clamped to the cap).
     pub fn reset(&mut self, initial: u64) {
         self.value = initial.min(self.cap);
@@ -286,6 +313,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The O(1) bulk advances are exactly iterated ticks, across random
+    /// parameters, starting values and advance lengths (including the
+    /// 0-saturation and cap boundaries).
+    #[test]
+    fn bulk_advance_matches_iterated_ticks() {
+        for seed in 0..64u64 {
+            let mut rng = SimRng::seed_from(seed ^ 0xb01d);
+            let num = rng.gen_range_u64(1..6) as u32;
+            let den = num + rng.gen_range_u64(0..8) as u32;
+            let cap = rng.gen_range_u64(1..2000);
+            let initial = rng.gen_range_u64(0..cap + 1);
+            let mut bulk = CreditCounter::new(num, den, cap, initial);
+            let mut steps = CreditCounter::new(num, den, cap, initial);
+            for _ in 0..16 {
+                let k = rng.gen_range_u64(0..200);
+                let holding = rng.gen_bool(0.5);
+                if holding {
+                    bulk.advance_holding(k);
+                } else {
+                    bulk.advance_idle(k);
+                }
+                for _ in 0..k {
+                    steps.tick(holding);
+                }
+                assert_eq!(
+                    bulk.value(),
+                    steps.value(),
+                    "seed {seed}: k={k} holding={holding} num={num} den={den} cap={cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_advance_zero_cycles_is_a_no_op() {
+        let mut b = CreditCounter::new(1, 4, 224, 100);
+        b.advance_idle(0);
+        b.advance_holding(0);
+        assert_eq!(b.value(), 100);
     }
 
     /// Long-run duty cycle of a saturating user is num/den.

@@ -11,7 +11,7 @@
 
 use crate::config::CreditConfig;
 use crate::credit::CreditCounter;
-use cba_bus::{EligibilityFilter, PendingSet};
+use cba_bus::{EligibilityFilter, FilterHorizon, PendingSet};
 use sim_core::{CoreId, Cycle};
 
 /// Platform operating mode (paper, Section III.C).
@@ -141,6 +141,17 @@ impl CreditFilter {
     fn is_tua(&self, core: CoreId) -> bool {
         matches!(self.mode, Mode::WcetEstimation { tua } if tua == core)
     }
+
+    /// The first arbitration cycle at which `core`'s budget test can pass,
+    /// given only idle recovery from cycle `now + 1` on: arbitration at
+    /// cycle `t` sees the counter after the tick of cycle `t - 1`, so a
+    /// deficit needing `k` recovery ticks clears at cycle `now + 1 + k`.
+    /// `None` when the budget already passes.
+    fn budget_pass_at(&self, core: CoreId, now: Cycle) -> Option<Cycle> {
+        self.counters[core.index()]
+            .cycles_to_reach(self.config.scaled_threshold())
+            .map(|k| now + 1 + k)
+    }
 }
 
 impl EligibilityFilter for CreditFilter {
@@ -190,6 +201,87 @@ impl EligibilityFilter for CreditFilter {
                     }
                 }
             }
+        }
+    }
+
+    /// O(1) bulk tick: `k` cycles of unchanged occupancy. Counters move by
+    /// their closed forms ([`CreditCounter::advance_idle`] /
+    /// [`CreditCounter::advance_holding`]); WCET-mode `COMP` bits latch
+    /// exactly when the per-cycle loop would have latched them, using the
+    /// peak value each counter attains during the stretch (idle counters
+    /// peak at the end, a draining owner peaks after its first tick).
+    fn advance(&mut self, _now: Cycle, k: u64, owner: Option<CoreId>, pending: &PendingSet) {
+        if k == 0 {
+            return;
+        }
+        if let Mode::WcetEstimation { tua } = self.mode {
+            let req1 = pending.contains(tua) || owner == Some(tua);
+            if req1 {
+                let threshold = self.config.scaled_threshold();
+                for i in 0..self.comp.len() {
+                    let core = CoreId::from_index(i);
+                    if core == tua || self.comp[i] {
+                        continue;
+                    }
+                    let mut peak = self.counters[i];
+                    if owner == Some(core) {
+                        peak.advance_holding(1);
+                    } else {
+                        peak.advance_idle(k);
+                    }
+                    if peak.is_at_least(threshold) {
+                        self.comp[i] = true;
+                    }
+                }
+            }
+        }
+        for (i, counter) in self.counters.iter_mut().enumerate() {
+            if owner.map(CoreId::index) == Some(i) {
+                counter.advance_holding(k);
+            } else {
+                counter.advance_idle(k);
+            }
+        }
+    }
+
+    /// During an idle stretch with a frozen pending set, every pending
+    /// core's counter only recovers, so verdicts flip monotonically from
+    /// ineligible to eligible; the earliest such flip is the horizon. In
+    /// WCET-estimation mode a contender's verdict is its latched `COMP`
+    /// bit, which (with `REQ1` frozen) latches exactly when its budget
+    /// test first passes — the same arithmetic — and never flips at all
+    /// while `REQ1` is low.
+    fn next_eligibility_flip(&self, now: Cycle, pending: &PendingSet) -> FilterHorizon {
+        let mut earliest: Option<Cycle> = None;
+        for req in pending.iter() {
+            let core = req.core();
+            if self.is_eligible(core, now + 1) {
+                continue;
+            }
+            let flip = match self.mode {
+                Mode::Operation => self.budget_pass_at(core, now),
+                Mode::WcetEstimation { tua } => {
+                    if core == tua {
+                        self.budget_pass_at(core, now)
+                    } else if pending.contains(tua) {
+                        // REQ1 high: COMP latches when the budget fills —
+                        // or, if the budget is already full but COMP was
+                        // never latched (REQ1 was low until now), at the
+                        // stretch's very first tick.
+                        Some(self.budget_pass_at(core, now).unwrap_or(now + 2))
+                    } else {
+                        // REQ1 low: COMP cannot latch during this stretch.
+                        None
+                    }
+                }
+            };
+            if let Some(t) = flip {
+                earliest = Some(earliest.map_or(t, |e: Cycle| e.min(t)));
+            }
+        }
+        match earliest {
+            Some(t) => FilterHorizon::At(t),
+            None => FilterHorizon::Static,
         }
     }
 
@@ -400,6 +492,137 @@ mod tests {
         assert_eq!(f.budget(c(0)), 0, "TuA back to zero budget");
         assert_eq!(f.budget(c(1)), 224);
         assert!(!f.comp(c(1)));
+    }
+
+    /// Bulk advance must equal iterated ticks — budgets *and* COMP bits —
+    /// across modes, owners, pending sets and stretch lengths.
+    #[test]
+    fn bulk_advance_matches_iterated_ticks() {
+        use sim_core::rng::SimRng;
+        let configs = [
+            CreditConfig::homogeneous(4, 56).unwrap(),
+            CreditConfig::paper_hcba(56).unwrap(),
+        ];
+        for (ci, config) in configs.iter().enumerate() {
+            for mode in [Mode::Operation, Mode::WcetEstimation { tua: c(0) }] {
+                let mut rng = SimRng::seed_from(0x5eed ^ ci as u64);
+                let mut bulk = CreditFilter::with_mode(config.clone(), mode);
+                let mut steps = CreditFilter::with_mode(config.clone(), mode);
+                let mut now: Cycle = 0;
+                for _ in 0..64 {
+                    let owner = match rng.gen_range_u64(0..6) {
+                        0..=3 => Some(c(rng.gen_range_usize(0..4))),
+                        _ => None,
+                    };
+                    let mut cores = Vec::new();
+                    for i in 0..4 {
+                        if Some(c(i)) != owner && rng.gen_bool(0.5) {
+                            cores.push(i);
+                        }
+                    }
+                    let pending = pending_with(4, &cores);
+                    let k = rng.gen_range_u64(0..300);
+                    bulk.advance(now, k, owner, &pending);
+                    for j in 0..k {
+                        EligibilityFilter::tick(&mut steps, now + j, owner, &pending);
+                    }
+                    now += k.max(1);
+                    for i in 0..4 {
+                        assert_eq!(
+                            bulk.budget(c(i)),
+                            steps.budget(c(i)),
+                            "budget of core {i} after k={k}, owner={owner:?}, mode={mode:?}"
+                        );
+                        assert_eq!(
+                            bulk.comp(c(i)),
+                            steps.comp(c(i)),
+                            "COMP of core {i} after k={k}, owner={owner:?}, mode={mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The flip prediction is exact: no pending core's verdict changes
+    /// strictly before the predicted cycle, and (when one is predicted)
+    /// some verdict changes exactly there.
+    #[test]
+    fn next_eligibility_flip_is_exact() {
+        use cba_bus::FilterHorizon;
+        use sim_core::rng::SimRng;
+        for seed in 0..24u64 {
+            let mut rng = SimRng::seed_from(seed ^ 0xf11b);
+            let cfg = CreditConfig::homogeneous(4, 56).unwrap();
+            let mode = if seed % 2 == 0 {
+                Mode::Operation
+            } else {
+                Mode::WcetEstimation { tua: c(0) }
+            };
+            let mut f = CreditFilter::with_mode(cfg, mode);
+            // Random warm-up to scatter the budgets.
+            let empty = PendingSet::new(4);
+            for now in 0..rng.gen_range_u64(0..400) {
+                let owner = match rng.gen_range_u64(0..5) {
+                    0..=2 => Some(c(rng.gen_range_usize(0..4))),
+                    _ => None,
+                };
+                EligibilityFilter::tick(&mut f, now, owner, &empty);
+            }
+            let mut cores = Vec::new();
+            for i in 0..4 {
+                if rng.gen_bool(0.7) {
+                    cores.push(i);
+                }
+            }
+            let pending = pending_with(4, &cores);
+            let now = 1000u64;
+            let verdicts = |f: &CreditFilter, t: Cycle| -> Vec<bool> {
+                (0..4).map(|i| f.is_eligible(c(i), t)).collect()
+            };
+            match f.next_eligibility_flip(now, &pending) {
+                FilterHorizon::Unknown => panic!("credit filter must predict"),
+                FilterHorizon::Static => {
+                    // Nothing may change over a long idle stretch.
+                    let before = verdicts(&f, now + 1);
+                    for t in now + 1..now + 2000 {
+                        EligibilityFilter::tick(&mut f, t, None, &pending);
+                        for &i in &cores {
+                            assert_eq!(
+                                f.is_eligible(c(i), t + 1),
+                                before[i],
+                                "seed {seed}: pending core {i} flipped at {t} under Static"
+                            );
+                        }
+                    }
+                }
+                FilterHorizon::At(flip) => {
+                    // A flip needs at least one recovery tick: >= now + 2.
+                    assert!(flip >= now + 2, "seed {seed}: flip {flip} too early");
+                    let before = verdicts(&f, now + 1);
+                    // Tick cycles now+1 .. flip-2; arbitration at each
+                    // following cycle (still before `flip`) is unchanged.
+                    for cyc in now + 1..flip - 1 {
+                        EligibilityFilter::tick(&mut f, cyc, None, &pending);
+                        for &i in &cores {
+                            assert_eq!(
+                                f.is_eligible(c(i), cyc + 1),
+                                before[i],
+                                "seed {seed}: pending core {i} flipped early at {}",
+                                cyc + 1
+                            );
+                        }
+                    }
+                    // The tick of cycle flip-1 makes the flip visible to
+                    // the arbitration of cycle `flip`.
+                    EligibilityFilter::tick(&mut f, flip - 1, None, &pending);
+                    let changed = cores
+                        .iter()
+                        .any(|&i| f.is_eligible(c(i), flip) != before[i]);
+                    assert!(changed, "seed {seed}: no verdict changed at {flip}");
+                }
+            }
+        }
     }
 
     #[test]

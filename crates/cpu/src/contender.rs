@@ -86,6 +86,14 @@ impl Contender {
     pub fn reset(&mut self) {
         self.grants = 0;
     }
+
+    /// Sleep horizon for the event-driven engine: after a tick the
+    /// contender always has its one request posted (or in service), so
+    /// only a completion — a bus event — can make it act. `Cycle::MAX`
+    /// means "wake me only at bus events".
+    pub fn wake_at(&self) -> Option<Cycle> {
+        Some(Cycle::MAX)
+    }
 }
 
 /// A periodic contender: issues a `duration`-cycle request every `period`
@@ -155,6 +163,15 @@ impl PeriodicContender {
     pub fn reset(&mut self, phase: Cycle) {
         self.next_issue = phase;
         self.grants = 0;
+    }
+
+    /// Sleep horizon for the event-driven engine: the contender must be
+    /// ticked at its next issue boundary (the issue is *skipped*, not
+    /// deferred, when its previous request is still pending — so the
+    /// boundary matters either way); between boundaries only completions
+    /// can make it act.
+    pub fn wake_at(&self) -> Option<Cycle> {
+        Some(self.next_issue)
     }
 }
 

@@ -24,8 +24,11 @@ enum PendingWhat {
 enum ExecState {
     /// Fetch the next operation this cycle.
     Ready,
-    /// Busy with pipeline work for `remaining` more cycles.
-    Computing { remaining: u32 },
+    /// Busy with pipeline work through cycle `until - 1`; the next fetch
+    /// happens at cycle `until`. Absolute time (not a countdown) so the
+    /// event-driven engine can skip the stretch and tick the core exactly
+    /// at `until`.
+    Computing { until: Cycle },
     /// A blocking transaction waits to be posted (older stores drain
     /// first).
     AwaitPost(BusTransaction),
@@ -200,15 +203,17 @@ impl Core {
                     self.state = ExecState::Ready;
                 }
             }
-            ExecState::Computing { remaining } => {
-                self.stats.busy_cycles += 1;
-                self.state = if remaining > 1 {
-                    ExecState::Computing {
-                        remaining: remaining - 1,
-                    }
+            ExecState::Computing { until } => {
+                if now >= until {
+                    // Only reachable when the engine skipped the tail of
+                    // the compute stretch: this is the fetch cycle.
+                    self.fetch_and_start(now);
                 } else {
-                    ExecState::Ready
-                };
+                    self.stats.busy_cycles += 1;
+                    if now + 1 >= until {
+                        self.state = ExecState::Ready;
+                    }
+                }
             }
             ExecState::Ready => {
                 self.fetch_and_start(now);
@@ -231,7 +236,9 @@ impl Core {
                 self.stats.ops += 1;
                 self.stats.busy_cycles += 1;
                 self.state = if n > 1 {
-                    ExecState::Computing { remaining: n - 1 }
+                    ExecState::Computing {
+                        until: now + n as Cycle,
+                    }
                 } else {
                     ExecState::Ready
                 };
@@ -268,6 +275,44 @@ impl Core {
             if self.done_at.is_none() {
                 self.done_at = Some(now);
             }
+        }
+    }
+
+    /// Sleep horizon for the event-driven engine: `Some(Cycle::MAX)` when
+    /// the core cannot do anything until a bus completion addressed to it
+    /// arrives (blocked on its posted transaction, stalled on a full store
+    /// buffer, draining behind a posted store, or finished), `None` when
+    /// it must be ticked every cycle (fetching, computing, about to post).
+    ///
+    /// In every `Some` state the per-cycle tick is pure stall accounting;
+    /// [`Core::absorb_skipped`] replays that accounting for cycles the
+    /// engine skipped.
+    pub fn wake_at(&self) -> Option<Cycle> {
+        match self.state {
+            ExecState::Done => Some(Cycle::MAX),
+            // A compute stretch is pure busy-cycle accounting until its
+            // fetch cycle (an in-flight store drain wakes the core at its
+            // completion — a bus event — before that if needed).
+            ExecState::Computing { until } => Some(until),
+            ExecState::Blocked | ExecState::AwaitPost(_) | ExecState::StoreStall(_)
+                if self.pending.is_some() =>
+            {
+                Some(Cycle::MAX)
+            }
+            ExecState::Draining if self.pending.is_some() => Some(Cycle::MAX),
+            _ => None,
+        }
+    }
+
+    /// Accounts `k` cycles the engine skipped while this core slept (see
+    /// [`Core::wake_at`]): the stall counters advance exactly as `k`
+    /// unchanged ticks would have advanced them.
+    pub fn absorb_skipped(&mut self, k: u64) {
+        match self.state {
+            ExecState::Blocked | ExecState::AwaitPost(_) => self.stats.bus_stall_cycles += k,
+            ExecState::StoreStall(_) => self.stats.store_stall_cycles += k,
+            ExecState::Computing { .. } => self.stats.busy_cycles += k,
+            _ => {}
         }
     }
 

@@ -48,10 +48,12 @@ pub struct FixedRequestTask {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FixedState {
-    /// Computing for `rem` more cycles before the next request.
-    Computing { rem: u32 },
-    /// About to post this cycle.
-    Post,
+    /// Computing until the next request posts at cycle `post_at`.
+    ///
+    /// Absolute time (rather than a per-tick countdown) makes the state
+    /// machine gap-tolerant: the event-driven engine can skip the compute
+    /// stretch entirely and tick the task exactly at `post_at`.
+    Computing { post_at: Cycle },
     /// Request posted / in service.
     Waiting,
     /// All requests served.
@@ -73,10 +75,8 @@ impl FixedRequestTask {
             n_requests,
             duration,
             gap,
-            state: if gap > 0 {
-                FixedState::Computing { rem: gap }
-            } else {
-                FixedState::Post
+            state: FixedState::Computing {
+                post_at: gap as Cycle,
             },
             issued: 0,
             completed: 0,
@@ -110,7 +110,9 @@ impl FixedRequestTask {
         self.n_requests * (self.gap as u64 + self.duration as u64)
     }
 
-    /// Advances one cycle.
+    /// Advances one cycle (tolerates gaps: ticking is only required at the
+    /// cycles reported by [`FixedRequestTask::wake_at`] and at this task's
+    /// completions).
     pub fn tick(&mut self, now: Cycle, completed: Option<&CompletedTransaction>, bus: &mut Bus) {
         if let Some(ct) = completed {
             if ct.core == self.core && matches!(self.state, FixedState::Waiting) {
@@ -118,40 +120,43 @@ impl FixedRequestTask {
                 self.state = if self.completed == self.n_requests {
                     self.done_at = Some(now);
                     FixedState::Done
-                } else if self.gap > 0 {
-                    FixedState::Computing { rem: self.gap }
                 } else {
-                    FixedState::Post
+                    FixedState::Computing {
+                        post_at: now + self.gap as Cycle,
+                    }
                 };
             }
         }
         match self.state {
             FixedState::Done | FixedState::Waiting => {}
-            FixedState::Computing { rem } => {
-                self.state = if rem > 1 {
-                    FixedState::Computing { rem: rem - 1 }
-                } else {
-                    FixedState::Post
-                };
+            FixedState::Computing { post_at } => {
+                if now >= post_at {
+                    bus.post(
+                        BusRequest::new(self.core, self.duration, RequestKind::Synthetic, now)
+                            .expect("validated duration"),
+                    )
+                    .expect("fixed task posts one request at a time");
+                    self.issued += 1;
+                    self.state = FixedState::Waiting;
+                }
             }
-            FixedState::Post => {
-                bus.post(
-                    BusRequest::new(self.core, self.duration, RequestKind::Synthetic, now)
-                        .expect("validated duration"),
-                )
-                .expect("fixed task posts one request at a time");
-                self.issued += 1;
-                self.state = FixedState::Waiting;
-            }
+        }
+    }
+
+    /// Sleep horizon for the event-driven engine: nothing happens until
+    /// the next post cycle (while computing) or the next completion
+    /// (while waiting or done — `Cycle::MAX`, a bus event wakes it).
+    pub fn wake_at(&self) -> Option<Cycle> {
+        match self.state {
+            FixedState::Computing { post_at } => Some(post_at),
+            FixedState::Waiting | FixedState::Done => Some(Cycle::MAX),
         }
     }
 
     /// Resets for a fresh run.
     pub fn reset(&mut self) {
-        self.state = if self.gap > 0 {
-            FixedState::Computing { rem: self.gap }
-        } else {
-            FixedState::Post
+        self.state = FixedState::Computing {
+            post_at: self.gap as Cycle,
         };
         self.issued = 0;
         self.completed = 0;
@@ -239,5 +244,70 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_requests_rejected() {
         let _ = FixedRequestTask::new(c(0), 0, 6, 4);
+    }
+
+    #[test]
+    fn wake_at_tracks_the_state_machine() {
+        let mut bus = Bus::new(
+            BusConfig::new(1, 56).unwrap(),
+            PolicyKind::RoundRobin.build(1, 56),
+        );
+        let mut tua = FixedRequestTask::new(c(0), 2, 6, 4);
+        assert_eq!(tua.wake_at(), Some(4), "first post after the gap");
+        for now in 0..4u64 {
+            let done = bus.begin_cycle(now);
+            tua.tick(now, done.as_ref(), &mut bus);
+            bus.end_cycle(now);
+        }
+        let done = bus.begin_cycle(4);
+        tua.tick(4, done.as_ref(), &mut bus);
+        bus.end_cycle(4);
+        assert_eq!(tua.wake_at(), Some(Cycle::MAX), "waiting for the grant");
+        for now in 5..100u64 {
+            let done = bus.begin_cycle(now);
+            tua.tick(now, done.as_ref(), &mut bus);
+            bus.end_cycle(now);
+        }
+        assert!(tua.is_done());
+        assert_eq!(tua.wake_at(), Some(Cycle::MAX));
+    }
+
+    #[test]
+    fn sparse_ticking_at_wake_cycles_matches_dense_ticking() {
+        // Dense: tick every cycle. Sparse: tick only at wake_at cycles and
+        // at completion cycles — the event engine's visiting pattern.
+        let dense_done = {
+            let mut bus = Bus::new(
+                BusConfig::new(1, 56).unwrap(),
+                PolicyKind::RoundRobin.build(1, 56),
+            );
+            let mut tua = FixedRequestTask::new(c(0), 5, 7, 3);
+            run(&mut tua, &mut bus, 1_000);
+            tua.done_at().unwrap()
+        };
+        let mut bus = Bus::new(
+            BusConfig::new(1, 56).unwrap(),
+            PolicyKind::RoundRobin.build(1, 56),
+        );
+        let mut tua = FixedRequestTask::new(c(0), 5, 7, 3);
+        let mut now = 0u64;
+        let mut visited = 0u64;
+        while !tua.is_done() && now < 1_000 {
+            let done = bus.begin_cycle(now);
+            tua.tick(now, done.as_ref(), &mut bus);
+            bus.end_cycle(now);
+            visited += 1;
+            let next = match (tua.wake_at().unwrap(), bus.next_event(now)) {
+                (Cycle::MAX, Some(ev)) => ev,
+                (wake, Some(ev)) => wake.min(ev),
+                (wake, None) => wake.min(now + 1),
+            };
+            now = next.max(now + 1).min(1_000);
+        }
+        assert_eq!(tua.done_at(), Some(dense_done));
+        assert!(
+            visited < dense_done / 2,
+            "sparse ticking should visit far fewer cycles: {visited} of {dense_done}"
+        );
     }
 }

@@ -6,9 +6,17 @@
 //! [`run_once`] invocations with per-run forked seeds,
 //! optionally across threads, and aggregates the execution times.
 
+use crate::executor::{default_threads, run_indexed};
 use crate::platform::{run_once, RunResult, RunSpec};
 use sim_core::rng::SimRng;
 use sim_core::stats::Summary;
+
+/// The per-run seed for run `index` of a campaign seeded from
+/// `master_seed` (stable, order-independent; shared by [`Campaign`] and
+/// the grid-wide scenario executor so both derive identical runs).
+pub fn run_seed(master_seed: u64, index: usize) -> u64 {
+    SimRng::seed_from(master_seed).fork(index as u64).seed()
+}
 
 /// A batch of independent runs of one spec.
 #[derive(Debug, Clone)]
@@ -20,22 +28,19 @@ pub struct Campaign {
 }
 
 impl Campaign {
-    /// Creates a campaign of `runs` runs seeded from `master_seed`.
+    /// Creates a campaign of `runs` runs seeded from `master_seed`,
+    /// defaulting to one worker per hardware thread.
     ///
     /// # Panics
     ///
     /// Panics if `runs == 0`.
     pub fn new(spec: RunSpec, runs: usize, master_seed: u64) -> Self {
         assert!(runs > 0, "a campaign needs at least one run");
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16);
         Campaign {
             spec,
             runs,
             master_seed,
-            threads,
+            threads: default_threads(),
         }
     }
 
@@ -47,41 +52,17 @@ impl Campaign {
 
     /// The per-run seed for run `index` (stable, order-independent).
     pub fn seed_for(&self, index: usize) -> u64 {
-        SimRng::seed_from(self.master_seed)
-            .fork(index as u64)
-            .seed()
+        run_seed(self.master_seed, index)
     }
 
-    /// Executes all runs and aggregates.
+    /// Executes all runs on the work-stealing executor and aggregates.
+    /// Workers write no shared state per run (results scatter lock-free
+    /// into their ordered slots), so the result is identical for any
+    /// thread count.
     pub fn run(&self) -> CampaignResult {
-        let mut results: Vec<Option<RunResult>> = vec![None; self.runs];
-        if self.threads <= 1 || self.runs == 1 {
-            for (i, slot) in results.iter_mut().enumerate() {
-                *slot = Some(run_once(&self.spec, self.seed_for(i)));
-            }
-        } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let spec = &self.spec;
-            let this = self;
-            let slots = std::sync::Mutex::new(&mut results);
-            std::thread::scope(|scope| {
-                for _ in 0..self.threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= this.runs {
-                            break;
-                        }
-                        let result = run_once(spec, this.seed_for(i));
-                        let mut guard = slots.lock().expect("no poisoned runs");
-                        guard[i] = Some(result);
-                    });
-                }
-            });
-        }
-        let results: Vec<RunResult> = results
-            .into_iter()
-            .map(|r| r.expect("all runs executed"))
-            .collect();
+        let results = run_indexed(self.runs, self.threads, |i| {
+            run_once(&self.spec, self.seed_for(i))
+        });
         CampaignResult::aggregate(results)
     }
 }
@@ -96,6 +77,14 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// Aggregates raw per-run results (in run order) into a campaign
+    /// result — the same reduction [`Campaign::run`] applies, exposed so
+    /// the grid-wide scenario executor can run cells' runs interleaved on
+    /// one pool and aggregate per cell afterwards.
+    pub fn from_runs(results: Vec<RunResult>) -> Self {
+        Self::aggregate(results)
+    }
+
     fn aggregate(results: Vec<RunResult>) -> Self {
         let mut samples = Vec::with_capacity(results.len());
         let mut summary = Summary::new();

@@ -4,13 +4,14 @@
 
 pub mod campaign;
 pub mod config;
+pub mod executor;
 pub mod experiments;
 pub mod platform;
 pub mod report;
 pub mod scenario;
 
-pub use campaign::{Campaign, CampaignResult};
+pub use campaign::{run_seed, Campaign, CampaignResult};
 pub use config::{BusSetup, PlatformConfig};
-pub use platform::{run_once, CoreLoad, RunResult, RunSpec, Scenario, StopCondition};
+pub use platform::{run_once, CoreLoad, DriveMode, RunResult, RunSpec, Scenario, StopCondition};
 pub use report::{run_scenario, CellReport, ScenarioReport};
 pub use scenario::{ScenarioDef, ScenarioError};

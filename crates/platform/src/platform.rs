@@ -6,7 +6,7 @@ use cba::{CreditFilter, Mode};
 use cba_bus::{Bus, BusConfig, CompletedTransaction};
 use cba_cpu::{Contender, Core, FixedRequestTask, PeriodicContender};
 use cba_workloads::{EembcProfile, Streaming, SyntheticEembc};
-use sim_core::engine::{drive, Control};
+use sim_core::engine::{drive, drive_events, Control};
 use sim_core::lfsr::LfsrBank;
 use sim_core::rng::SimRng;
 use sim_core::{CoreId, Cycle};
@@ -80,6 +80,24 @@ pub enum Scenario {
     Custom(Vec<CoreLoad>),
 }
 
+/// Which cycle loop executes a run.
+///
+/// Both produce **bit-identical** results (asserted by the workspace's
+/// property tests); the naive loop exists as the reference implementation
+/// and as the debugging fallback when a fast-path divergence is suspected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriveMode {
+    /// The event-horizon fast path ([`sim_core::drive_events`]): skips
+    /// provably uneventful cycle ranges (mid-transaction stretches, idle
+    /// TDMA slots, credit-recovery waits). The default.
+    #[default]
+    Events,
+    /// The per-cycle reference loop ([`sim_core::drive`]): visits every
+    /// cycle. Selectable per scenario (`engine = naive`) or via
+    /// `cba_sim --engine naive`.
+    Naive,
+}
+
 /// When the run loop stops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopCondition {
@@ -108,6 +126,9 @@ pub struct RunSpec {
     pub max_cycles: Cycle,
     /// Record the full grant trace (burst/starvation metrics).
     pub record_trace: bool,
+    /// Which cycle loop to use (fast path by default; results are
+    /// bit-identical either way).
+    pub drive: DriveMode,
 }
 
 impl RunSpec {
@@ -138,6 +159,7 @@ impl RunSpec {
             stop: StopCondition::TuaDone,
             max_cycles: 50_000_000,
             record_trace: false,
+            drive: DriveMode::default(),
         }
     }
 
@@ -188,7 +210,11 @@ impl RunSpec {
 }
 
 /// Result of one run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (no float tolerance): the naive and event-driven
+/// cycle loops are required to agree **bit for bit**, and the property
+/// tests compare whole results with `==`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Core 0's completion cycle (None if it did not finish).
     pub tua_cycles: Option<Cycle>,
@@ -324,6 +350,29 @@ impl Client {
             _ => None,
         }
     }
+
+    /// The client's sleep horizon (queried after its tick): the next cycle
+    /// at which ticking it can have any effect, absent a bus completion.
+    /// `None` = must be ticked every cycle; `Cycle::MAX` = only a bus
+    /// event can wake it.
+    fn wake_at(&self) -> Option<Cycle> {
+        match self {
+            Client::Core(c) => c.wake_at(),
+            Client::Saturating(c) => c.wake_at(),
+            Client::Periodic(c) => c.wake_at(),
+            Client::Fixed(c) => c.wake_at(),
+            Client::Idle => Some(Cycle::MAX),
+        }
+    }
+
+    /// Accounts `skipped` engine-skipped cycles (only the core model keeps
+    /// per-cycle stall statistics; every other client's state is already
+    /// expressed in absolute cycles).
+    fn absorb_skipped(&mut self, skipped: u64) {
+        if let Client::Core(c) = self {
+            c.absorb_skipped(skipped);
+        }
+    }
 }
 
 /// Executes one run of `spec` under `seed`, fully deterministically.
@@ -379,24 +428,68 @@ pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
         .collect();
 
     // Cycle loop: the workspace-wide engine drives the bus; this closure
-    // only ticks the clients and evaluates the stop condition.
-    let outcome = drive(&mut bus, spec.max_cycles, |bus, now, completed| {
-        for client in clients.iter_mut() {
-            client.tick(now, completed, bus);
-        }
-        let stop = match spec.stop {
-            StopCondition::TuaDone => clients[0].is_done(),
-            StopCondition::AllDone => clients.iter().all(Client::is_done),
-            StopCondition::Horizon(h) => now + 1 >= h,
+    // only ticks the clients, evaluates the stop condition, and (on the
+    // fast path) reports how long every client can sleep so the engine
+    // can jump to the next event.
+    let events = spec.drive == DriveMode::Events;
+    let mut prev: Option<Cycle> = None;
+    let mut cycle_fn =
+        |bus: &mut Bus, now: Cycle, completed: Option<&CompletedTransaction>| -> Control {
+            if let Some(prev) = prev {
+                let skipped = now - prev - 1;
+                if skipped > 0 {
+                    for client in clients.iter_mut() {
+                        client.absorb_skipped(skipped);
+                    }
+                }
+            }
+            prev = Some(now);
+            for client in clients.iter_mut() {
+                client.tick(now, completed, bus);
+            }
+            let stop = match spec.stop {
+                StopCondition::TuaDone => clients[0].is_done(),
+                StopCondition::AllDone => clients.iter().all(Client::is_done),
+                StopCondition::Horizon(h) => now + 1 >= h,
+            };
+            if stop {
+                return Control::Stop;
+            }
+            if !events {
+                return Control::Continue;
+            }
+            let mut until = Cycle::MAX;
+            for client in clients.iter() {
+                match client.wake_at() {
+                    // Someone needs every cycle: no sleeping this cycle.
+                    None => return Control::Continue,
+                    Some(t) => until = until.min(t),
+                }
+            }
+            if let StopCondition::Horizon(h) = spec.stop {
+                // The stop fires from the tick at cycle h - 1; never skip it.
+                until = until.min(h - 1);
+            }
+            Control::Sleep(until)
         };
-        if stop {
-            Control::Stop
-        } else {
-            Control::Continue
-        }
-    });
+    let outcome = if events {
+        drive_events(&mut bus, spec.max_cycles, &mut cycle_fn)
+    } else {
+        drive(&mut bus, spec.max_cycles, &mut cycle_fn)
+    };
     let now = outcome.cycles;
     let finished = outcome.stopped;
+    // A run that hits max_cycles mid-skip ends without another cycle_fn
+    // invocation; absorb the tail so client stall/busy statistics stay
+    // bit-identical to the per-cycle loop (which ticked every cycle).
+    if let Some(prev) = prev {
+        let tail = (now - 1).saturating_sub(prev);
+        if tail > 0 {
+            for client in clients.iter_mut() {
+                client.absorb_skipped(tail);
+            }
+        }
+    }
 
     let trace = bus.trace();
     let ids: Vec<CoreId> = (0..n).map(CoreId::from_index).collect();
@@ -529,6 +622,62 @@ mod tests {
         assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
         // Recording traces expose burst metrics.
         assert!(r.max_burst.iter().any(|b| b.is_some()));
+    }
+
+    /// The two cycle loops must agree exactly — whole `RunResult`s,
+    /// including traces, wait statistics and cycle counters.
+    #[test]
+    fn naive_and_event_loops_are_bit_identical() {
+        let specs = [
+            RunSpec::paper(BusSetup::Rp, Scenario::Isolation, CoreLoad::named("rspeed")),
+            RunSpec::paper(
+                BusSetup::Cba,
+                Scenario::MaxContention,
+                CoreLoad::named("matrix"),
+            ),
+            RunSpec::paper(
+                BusSetup::HCba,
+                Scenario::MaxContention,
+                CoreLoad::FixedTask {
+                    n_requests: 200,
+                    duration: 6,
+                    gap: 4,
+                },
+            ),
+        ];
+        for (i, spec) in specs.into_iter().enumerate() {
+            for seed in [1, 7] {
+                let mut naive = spec.clone();
+                naive.drive = DriveMode::Naive;
+                let mut events = spec.clone();
+                events.drive = DriveMode::Events;
+                assert_eq!(
+                    run_once(&naive, seed),
+                    run_once(&events, seed),
+                    "spec {i} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_loop_handles_horizon_and_trace_runs() {
+        let mut spec = RunSpec::paper(
+            BusSetup::Cba,
+            Scenario::MaxContention,
+            CoreLoad::Saturating { duration: 56 },
+        );
+        spec.loads[0] = CoreLoad::Saturating { duration: 5 };
+        spec.stop = StopCondition::Horizon(20_000);
+        spec.wcet_mode = false;
+        spec.record_trace = true;
+        let mut naive = spec.clone();
+        naive.drive = DriveMode::Naive;
+        let a = run_once(&naive, 3);
+        let b = run_once(&spec, 3);
+        assert_eq!(a, b);
+        assert!(a.finished);
+        assert_eq!(a.total_cycles, 20_000, "horizon must not be overshot");
     }
 
     #[test]

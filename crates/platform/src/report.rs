@@ -1,21 +1,24 @@
 //! Structured campaign results: per-cell statistics, baseline
 //! normalization, and JSON/CSV/table export.
 //!
-//! [`run_scenario`] executes every grid cell of a
-//! [`ScenarioDef`] as a Monte-Carlo
-//! [`Campaign`] and aggregates each into a [`CellReport`]: mean, 95%
-//! confidence interval, percentiles, and (for trace-recording scenarios)
-//! burst/starvation summaries. When the definition names a `[report]`
-//! baseline (e.g. `baseline = setup=rp,scenario=iso`), cells are
-//! normalized against the matching cell of their group — exactly how the
-//! paper's Figure 1 normalizes every bar to the benchmark's RP-ISO mean.
+//! [`run_scenario`] flattens every grid cell of a [`ScenarioDef`] into one
+//! batch of *(cell × run)* tasks, executes the whole batch on the
+//! grid-wide work-stealing pool ([`crate::executor`]) and aggregates each
+//! cell into a [`CellReport`]: mean, 95% confidence interval, percentiles,
+//! and (for trace-recording scenarios) burst/starvation summaries. When
+//! the definition names a `[report]` baseline (e.g. `baseline =
+//! setup=rp,scenario=iso`), cells are normalized against the matching cell
+//! of their group — exactly how the paper's Figure 1 normalizes every bar
+//! to the benchmark's RP-ISO mean.
 //!
 //! The writers are dependency-free ([`sim_core::export`]): `to_json` for
 //! plots/dashboards, `to_csv` for spreadsheets, `render_table` for the
 //! terminal.
 
-use crate::campaign::Campaign;
-use crate::scenario::{Cell, ScenarioDef, ScenarioError};
+use crate::campaign::{run_seed, CampaignResult};
+use crate::executor::{default_threads, run_indexed_streamed};
+use crate::platform::{run_once, RunResult};
+use crate::scenario::{ScenarioDef, ScenarioError};
 use sim_core::export::{csv_field, fmt_number, Json};
 
 /// Aggregated result of one grid cell.
@@ -61,21 +64,6 @@ impl CellReport {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
-    }
-
-    fn from_cell(cell: &Cell, runs: usize, threads: Option<usize>, qs: &[f64]) -> CellReport {
-        let mut campaign = Campaign::new(cell.spec.clone(), runs, cell.seed);
-        if let Some(t) = threads {
-            campaign = campaign.with_threads(t);
-        }
-        let result = campaign.run();
-        Self::from_campaign(
-            cell.labels.clone(),
-            cell.seed,
-            &result,
-            qs,
-            cell.spec.record_trace,
-        )
     }
 
     /// Aggregates a finished campaign into a report cell. `record_trace`
@@ -159,8 +147,12 @@ pub struct ScenarioReport {
 /// Expands `def` and executes every cell, applying baseline
 /// normalization when the definition configures one.
 ///
-/// Cells run sequentially (each campaign parallelizes its own runs), so
-/// results are deterministic regardless of machine parallelism.
+/// The whole grid runs as one flat batch of *(cell × run)* tasks on one
+/// grid-wide work-stealing pool (`def.threads`, default: every hardware
+/// thread), so a multi-cell campaign scales with the thread count well
+/// beyond a single cell's run count. Every run's seed depends only on
+/// `(cell seed, run index)`, so results are deterministic — bit-identical
+/// for any thread count or scheduling.
 ///
 /// # Errors
 ///
@@ -171,19 +163,68 @@ pub fn run_scenario(def: &ScenarioDef) -> Result<ScenarioReport, ScenarioError> 
 }
 
 /// [`run_scenario`] with a progress callback `(cells done, total, just
-/// finished)` invoked after each cell, for CLI progress lines.
+/// finished)` invoked per cell, for CLI progress lines. Cells are
+/// aggregated and reported as their last run completes (so the callback
+/// fires in completion order, live); the returned report is in cell
+/// (expansion) order regardless, and identical for any thread count.
 pub fn run_scenario_with(
     def: &ScenarioDef,
     mut progress: impl FnMut(usize, usize, &CellReport),
 ) -> Result<ScenarioReport, ScenarioError> {
     let cells = def.expand()?;
     let total = cells.len();
-    let mut reports = Vec::with_capacity(total);
-    for cell in &cells {
-        let report = CellReport::from_cell(cell, def.runs, def.threads, &def.report.percentiles);
-        progress(reports.len() + 1, total, &report);
-        reports.push(report);
-    }
+    let runs = def.runs;
+    let threads = def.threads.unwrap_or_else(default_threads);
+    // One flat task list over the whole grid: task i is run (i % runs) of
+    // cell (i / runs), seeded exactly as Campaign would seed it. Results
+    // stream back in completion order; a cell is aggregated (and its
+    // progress line fired) the moment its last run lands, so long grids
+    // report live and only in-flight cells' raw results stay in memory.
+    let mut pending: Vec<Vec<Option<RunResult>>> = (0..total).map(|_| Vec::new()).collect();
+    let mut missing: Vec<usize> = vec![runs; total];
+    let mut reports: Vec<Option<CellReport>> = (0..total).map(|_| None).collect();
+    let mut done_cells = 0usize;
+    run_indexed_streamed(
+        total * runs,
+        threads,
+        |i| {
+            let cell = &cells[i / runs];
+            run_once(&cell.spec, run_seed(cell.seed, i % runs))
+        },
+        |i, result| {
+            let ci = i / runs;
+            let buf = &mut pending[ci];
+            if buf.is_empty() {
+                buf.resize_with(runs, || None);
+            }
+            buf[i % runs] = Some(result);
+            missing[ci] -= 1;
+            if missing[ci] == 0 {
+                // Take (not drain) so the buffer's allocation is freed the
+                // moment its cell aggregates.
+                let cell_runs: Vec<RunResult> = std::mem::take(&mut pending[ci])
+                    .into_iter()
+                    .map(|r| r.expect("all runs delivered"))
+                    .collect();
+                let campaign = CampaignResult::from_runs(cell_runs);
+                let cell = &cells[ci];
+                let report = CellReport::from_campaign(
+                    cell.labels.clone(),
+                    cell.seed,
+                    &campaign,
+                    &def.report.percentiles,
+                    cell.spec.record_trace,
+                );
+                done_cells += 1;
+                progress(done_cells, total, &report);
+                reports[ci] = Some(report);
+            }
+        },
+    );
+    let mut reports: Vec<CellReport> = reports
+        .into_iter()
+        .map(|r| r.expect("every cell completed"))
+        .collect();
     normalize(&mut reports, &def.report.baseline)?;
     Ok(ScenarioReport {
         name: def.name.clone(),

@@ -51,7 +51,7 @@
 //! ```
 
 use crate::config::PlatformConfig;
-use crate::platform::{CoreLoad, RunSpec, Scenario, StopCondition};
+use crate::platform::{CoreLoad, DriveMode, RunSpec, Scenario, StopCondition};
 use cba::CreditConfig;
 use cba_bus::PolicyKind;
 use cba_mem::{HierarchyConfig, LatencyModel};
@@ -157,6 +157,9 @@ pub struct Template {
     pub caps: Option<String>,
     /// Drive arbitration randomness from the LFSR bank (default on).
     pub lfsr: bool,
+    /// Cycle engine: `events` (fast path, default) or `naive` (per-cycle
+    /// reference loop, for debugging — results are bit-identical).
+    pub engine: String,
     /// Core-0 load (default `bench:rspeed`).
     pub tua: TuaSpec,
     /// Co-runner placement (default `con`).
@@ -181,6 +184,7 @@ impl Default for Template {
             cba: "none".into(),
             caps: None,
             lfsr: true,
+            engine: "events".into(),
             tua: TuaSpec::Load("bench:rspeed".into()),
             contenders: ContenderSpec::MaxContention,
             duration: None,
@@ -443,11 +447,16 @@ impl ScenarioDef {
             "cba" => t.cba = value.to_string(),
             "caps" => t.caps = Some(value.to_string()),
             "lfsr" => t.lfsr = parse_switch(value, "lfsr", lineno)?,
+            "engine" => {
+                parse_engine(value).map_err(|e| ScenarioError::at(lineno, e))?;
+                t.engine = value.to_string();
+            }
             other => {
                 return Err(ScenarioError::at(
                     lineno,
                     format!(
-                        "unknown [platform] key '{other}' (expected cores, policy, cba, caps, lfsr)"
+                        "unknown [platform] key '{other}' (expected cores, policy, cba, caps, \
+                         lfsr, engine)"
                     ),
                 ))
             }
@@ -680,6 +689,7 @@ impl ScenarioDef {
             let _ = writeln!(out, "caps = {caps}");
         }
         let _ = writeln!(out, "lfsr = {}", switch(t.lfsr));
+        let _ = writeln!(out, "engine = {}", t.engine);
         let _ = writeln!(out, "\n[tua]");
         match &t.tua {
             TuaSpec::Load(spec) => {
@@ -873,6 +883,16 @@ const PROFILE_KNOBS: &[&str] = &[
     "gap",
     "between",
 ];
+
+/// Parses a cycle-engine selector: `events` (the fast path) or `naive`
+/// (the per-cycle reference loop), case-insensitively.
+pub fn parse_engine(s: &str) -> Result<DriveMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "events" | "fast" => Ok(DriveMode::Events),
+        "naive" | "cycle" => Ok(DriveMode::Naive),
+        other => Err(format!("unknown engine '{other}' (expected events, naive)")),
+    }
+}
 
 /// Parses a policy name. Accepts the short CLI forms and the spelled-out
 /// aliases (`lottery`, `randperm`, `priority`), case-insensitively.
@@ -1251,6 +1271,7 @@ impl Template {
         spec.stop = parse_stop(&self.stop)?;
         spec.max_cycles = self.max_cycles;
         spec.record_trace = self.trace;
+        spec.drive = parse_engine(&self.engine)?;
         spec.validate()?;
         Ok(spec)
     }

@@ -163,15 +163,62 @@ pub trait BusModel {
         let granted = self.end_cycle(now);
         TickOutcome { completed, granted }
     }
+
+    /// The bus's **event horizon**: called after [`end_cycle`](
+    /// BusModel::end_cycle)`(now)`, returns the earliest future cycle at
+    /// which anything observable can happen on the bus side — a completion
+    /// is reported, a grant becomes possible, or internal state stops
+    /// evolving in the closed form applied by [`advance`](BusModel::advance)
+    /// — **assuming no client interaction** (no posts or withdrawals) in
+    /// between.
+    ///
+    /// Returning `Some(e)` is a guarantee: for every cycle `t` in
+    /// `(now, e)`, `begin_cycle(t)` would report nothing and `end_cycle(t)`
+    /// would grant nothing, so [`drive_events`] may replace those per-cycle
+    /// calls with one `advance` and jump straight to `e` (or to any earlier
+    /// cycle — resuming early is always safe). `Some(Cycle::MAX)` means "no
+    /// bus-side event at all until a client acts".
+    ///
+    /// The default returns `None` — "cannot predict" — which disables
+    /// skipping entirely, so implementations that never override this (or
+    /// that compose unpredictable filters/policies) keep the exact
+    /// per-cycle behaviour.
+    fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        let _ = now;
+        None
+    }
+
+    /// Bulk-advances bus state over the uneventful cycle range
+    /// `from + 1 ..= to - 1` (exclusive of both the already-executed cycle
+    /// `from` and the about-to-be-executed cycle `to`), exactly as if each
+    /// had been stepped through `begin_cycle`/`end_cycle` with no client
+    /// interaction: cycle counters accumulate, credit/filter state evolves,
+    /// and the internal cycle cursor moves so `begin_cycle(to)` is accepted
+    /// next.
+    ///
+    /// Only called by [`drive_events`] for ranges validated by
+    /// [`next_event`](BusModel::next_event); the default is a no-op, which
+    /// pairs with the default `next_event` of `None` (never invoked).
+    fn advance(&mut self, from: Cycle, to: Cycle) {
+        let _ = (from, to);
+    }
 }
 
-/// Per-cycle verdict returned by the [`drive`] callback.
+/// Per-cycle verdict returned by the [`drive`] / [`drive_events`]
+/// callback.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Control {
     /// Keep simulating.
     Continue,
     /// Stop after finishing the current cycle.
     Stop,
+    /// The clients guarantee they will not interact with the bus (no posts,
+    /// no withdrawals) before cycle `until`, and do not need to observe any
+    /// cycle before it either — [`drive_events`] may fast-forward to
+    /// `min(until, bus event horizon)`. [`drive`] treats this exactly like
+    /// [`Control::Continue`], so a callback written for the fast path runs
+    /// unchanged (and bit-identically) under the naive loop.
+    Sleep(Cycle),
 }
 
 /// Result of a [`drive`] run.
@@ -184,14 +231,16 @@ pub struct DriveOutcome {
     pub stopped: bool,
 }
 
-/// Drives `bus` for up to `max_cycles` cycles from cycle 0.
+/// Drives `bus` for up to `max_cycles` cycles from cycle 0, visiting
+/// **every** cycle.
 ///
 /// Each cycle, the engine runs phase 1 ([`BusModel::begin_cycle`]), hands
 /// the completion report to `cycle_fn` — which posts client traffic (phase
 /// 2) and decides whether to stop — then runs phase 3
-/// ([`BusModel::end_cycle`]). This is the *only* cycle loop in the
-/// workspace: the platform's `run_once`, the benchmark binaries and the
-/// examples all express their scenarios as `cycle_fn` closures.
+/// ([`BusModel::end_cycle`]). [`Control::Sleep`] is treated as
+/// [`Control::Continue`]: this is the naive reference loop that
+/// [`drive_events`] must reproduce bit for bit, and the loop to force when
+/// debugging a suspected fast-path divergence.
 pub fn drive<M: BusModel>(
     bus: &mut M,
     max_cycles: Cycle,
@@ -216,6 +265,63 @@ pub fn drive<M: BusModel>(
     }
 }
 
+/// Drives `bus` like [`drive`], but jumps over provably uneventful cycle
+/// ranges — the **event-horizon fast path**.
+///
+/// After each executed cycle, if the callback returned
+/// [`Control::Sleep`]`(until)` *and* the bus can bound its own next event
+/// via [`BusModel::next_event`], the engine bulk-advances the bus with
+/// [`BusModel::advance`] and resumes the full three-phase protocol at
+/// `min(until, event, max_cycles)`. Whenever either side declines — the
+/// callback returns [`Control::Continue`], or `next_event` returns `None`
+/// — the engine falls back to per-cycle stepping for that cycle, so the
+/// fast path degrades gracefully to exactly [`drive`].
+///
+/// Because skipped ranges are ranges in which, by contract, no completion,
+/// grant, post or RNG draw can occur, the observable outcome (grant trace,
+/// wait statistics, cycle counters, stop cycle) is **bit-identical** to
+/// [`drive`] with the same callback; the workspace's property tests assert
+/// this across policies, filters and bus variants.
+pub fn drive_events<M: BusModel>(
+    bus: &mut M,
+    max_cycles: Cycle,
+    mut cycle_fn: impl FnMut(&mut M, Cycle, Option<&M::Completion>) -> Control,
+) -> DriveOutcome {
+    let mut now: Cycle = 0;
+    while now < max_cycles {
+        let completed = bus.begin_cycle(now);
+        let control = cycle_fn(bus, now, completed.as_ref());
+        bus.end_cycle(now);
+        match control {
+            Control::Stop => {
+                return DriveOutcome {
+                    cycles: now + 1,
+                    stopped: true,
+                }
+            }
+            Control::Continue => now += 1,
+            Control::Sleep(until) => {
+                let step = now + 1;
+                let mut target = step;
+                if until > step {
+                    if let Some(event) = bus.next_event(now) {
+                        let jump = event.min(until).min(max_cycles);
+                        if jump > step {
+                            bus.advance(now, jump);
+                            target = jump;
+                        }
+                    }
+                }
+                now = target;
+            }
+        }
+    }
+    DriveOutcome {
+        cycles: max_cycles,
+        stopped: false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +332,7 @@ mod tests {
         trace: GrantTrace,
         pending: Option<u32>,
         busy_until: Option<Cycle>,
+        skipped: u64,
     }
 
     impl OneShot {
@@ -234,6 +341,7 @@ mod tests {
                 trace: GrantTrace::counting(1),
                 pending: None,
                 busy_until: None,
+                skipped: 0,
             }
         }
     }
@@ -276,6 +384,18 @@ mod tests {
 
         fn trace(&self) -> &GrantTrace {
             &self.trace
+        }
+
+        fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+            match (self.busy_until, self.pending) {
+                (Some(ends_at), _) => Some(ends_at),
+                (None, Some(_)) => Some(now + 1),
+                (None, None) => Some(Cycle::MAX),
+            }
+        }
+
+        fn advance(&mut self, from: Cycle, to: Cycle) {
+            self.skipped += to - from - 1;
         }
     }
 
@@ -343,5 +463,111 @@ mod tests {
         let out = drive(&mut bus, 0, |_, _, _| Control::Continue);
         assert_eq!(out.cycles, 0);
         assert!(!out.stopped);
+    }
+
+    #[test]
+    fn drive_treats_sleep_as_continue() {
+        let mut bus = OneShot::new();
+        let mut visited = 0u64;
+        let out = drive(&mut bus, 10, |_, _, _| {
+            visited += 1;
+            Control::Sleep(Cycle::MAX)
+        });
+        assert_eq!(out.cycles, 10);
+        assert_eq!(visited, 10, "naive loop never skips");
+        assert_eq!(bus.skipped, 0);
+    }
+
+    /// The periodic-poster closure used by the naive/fast equivalence
+    /// tests: posts a 7-cycle request every 20 cycles.
+    fn periodic(period: Cycle) -> impl FnMut(&mut OneShot, Cycle, Option<&Cycle>) -> Control {
+        move |bus, now, _completed| {
+            if now % period == 0 && bus.owner().is_none() && bus.pending.is_none() {
+                bus.post(7).unwrap();
+            }
+            let next_issue = (now / period + 1) * period;
+            Control::Sleep(next_issue)
+        }
+    }
+
+    #[test]
+    fn drive_events_skips_but_matches_drive() {
+        let mut naive = OneShot::new();
+        let a = drive(&mut naive, 200, periodic(20));
+        let mut fast = OneShot::new();
+        let b = drive_events(&mut fast, 200, periodic(20));
+        assert_eq!(a, b);
+        assert_eq!(naive.trace.total_slots(), fast.trace.total_slots());
+        assert_eq!(
+            naive.trace.busy_cycles(CoreId::from_index(0)),
+            fast.trace.busy_cycles(CoreId::from_index(0))
+        );
+        assert!(fast.skipped > 100, "skipped only {}", fast.skipped);
+    }
+
+    #[test]
+    fn drive_events_stops_at_the_same_cycle_as_drive() {
+        let stopper = |bus: &mut OneShot, _now: Cycle, completed: Option<&Cycle>| {
+            if completed.is_some() {
+                return Control::Stop;
+            }
+            if bus.owner().is_none() && bus.pending.is_none() {
+                bus.post(9).unwrap();
+            }
+            Control::Sleep(Cycle::MAX)
+        };
+        let mut naive = OneShot::new();
+        let a = drive(&mut naive, 1_000, stopper);
+        let mut fast = OneShot::new();
+        let b = drive_events(&mut fast, 1_000, stopper);
+        assert!(a.stopped && b.stopped);
+        assert_eq!(a.cycles, b.cycles);
+        assert!(fast.skipped > 0);
+    }
+
+    #[test]
+    fn drive_events_respects_the_safety_limit() {
+        let mut bus = OneShot::new();
+        let out = drive_events(&mut bus, 50, |_, _, _| Control::Sleep(Cycle::MAX));
+        assert_eq!(out.cycles, 50);
+        assert!(!out.stopped);
+        // One executed cycle + 49 bulk-advanced ones.
+        assert_eq!(bus.skipped, 49);
+    }
+
+    #[test]
+    fn drive_events_steps_when_the_bus_cannot_predict() {
+        /// A model whose `next_event` keeps the default `None`.
+        #[derive(Debug)]
+        struct Opaque(OneShot);
+        impl BusModel for Opaque {
+            type Request = u32;
+            type Completion = Cycle;
+            type Error = &'static str;
+            fn begin_cycle(&mut self, now: Cycle) -> Option<Cycle> {
+                self.0.begin_cycle(now)
+            }
+            fn post(&mut self, req: u32) -> Result<(), &'static str> {
+                self.0.post(req)
+            }
+            fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+                self.0.end_cycle(now)
+            }
+            fn owner(&self) -> Option<CoreId> {
+                self.0.owner()
+            }
+            fn trace(&self) -> &GrantTrace {
+                self.0.trace()
+            }
+        }
+        let mut bus = Opaque(OneShot::new());
+        let mut visited = 0u64;
+        let out = drive_events(&mut bus, 30, |_, _, _| {
+            visited += 1;
+            Control::Sleep(Cycle::MAX)
+        });
+        assert_eq!(out.cycles, 30);
+        assert_eq!(visited, 30, "default next_event must disable skipping");
+        assert_eq!(bus.0.skipped, 0);
     }
 }

@@ -9,7 +9,7 @@ pub mod rng;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{drive, BusModel, Control, DriveOutcome, TickOutcome};
+pub use engine::{drive, drive_events, BusModel, Control, DriveOutcome, TickOutcome};
 
 use std::fmt;
 

@@ -1,0 +1,195 @@
+//! Bit-identity of the event-horizon fast path against the naive
+//! per-cycle loop — the workspace-level contract of `sim_core::drive_events`.
+//!
+//! The fast path may only skip cycles in which *nothing observable*
+//! happens, so every run must agree with the reference loop bit for bit:
+//! same samples, same grant traces, same wait statistics, same cycle
+//! counters, same stop cycle. These tests sweep the full mechanism grid —
+//! {RP, RR, TDMA, lottery} × {no filter, CBA, H-CBA} × {isolation, max
+//! contention} on the non-split bus, plus the split-transaction bus with
+//! random mixed traffic — across random seeds.
+
+use cba::{CreditConfig, CreditFilter};
+use cba_bus::split::{SplitBus, SplitBusConfig, SplitRequest};
+use cba_bus::PolicyKind;
+use cba_platform::scenario::ScenarioDef;
+use cba_platform::{run_once, DriveMode, RunResult, RunSpec};
+use sim_core::engine::{drive, drive_events, Control};
+use sim_core::rng::SimRng;
+use sim_core::{CoreId, Cycle};
+
+fn both_engines(spec: &RunSpec, seed: u64) -> (RunResult, RunResult) {
+    let mut naive = spec.clone();
+    naive.drive = DriveMode::Naive;
+    let mut events = spec.clone();
+    events.drive = DriveMode::Events;
+    (run_once(&naive, seed), run_once(&events, seed))
+}
+
+/// The whole policy × filter × scenario grid on the non-split bus, with
+/// the WCET-estimation COMP machinery engaged in the CON cells.
+#[test]
+fn policy_filter_grid_is_bit_identical() {
+    let text = "\
+[campaign]
+name = identity
+runs = 1
+[tua]
+load = fixed:150:6:4
+[sweep]
+policy = rp,rr,tdma,lot
+cba = none,homog,hcba
+scenario = iso,con
+";
+    let def = ScenarioDef::parse(text).expect("grid parses");
+    let cells = def.expand().expect("grid expands");
+    assert_eq!(cells.len(), 24);
+    for cell in &cells {
+        for seed in [0u64, 13] {
+            let (a, b) = both_engines(&cell.spec, seed);
+            assert_eq!(a, b, "divergence in cell {:?} seed {seed}", cell.labels);
+            assert!(a.finished, "cell {:?} must finish", cell.labels);
+        }
+    }
+}
+
+/// Core-model TuAs (caches, store buffers, random placement) against
+/// saturating contenders, both RNG backends.
+#[test]
+fn core_model_runs_are_bit_identical() {
+    let text = "\
+[campaign]
+name = identity-core
+runs = 1
+[tua]
+load = bench:rspeed
+[sweep]
+setup = rp,cba,hcba,tdma,rr+homog
+scenario = iso,con
+";
+    let def = ScenarioDef::parse(text).expect("parses");
+    for cell in def.expand().expect("expands") {
+        let mut spec = cell.spec.clone();
+        for lfsr in [true, false] {
+            spec.platform.lfsr_randbank = lfsr;
+            let (a, b) = both_engines(&spec, 42);
+            assert_eq!(a, b, "cell {:?} lfsr={lfsr}", cell.labels);
+        }
+    }
+}
+
+/// Horizon-stopped fairness runs with recording traces and periodic +
+/// saturating co-runners: the trace-derived burst/starvation metrics must
+/// match too.
+#[test]
+fn horizon_and_trace_runs_are_bit_identical() {
+    let text = "\
+[campaign]
+name = identity-horizon
+runs = 1
+[platform]
+policy = tdma
+cba = homog
+[tua]
+load = sat:5
+[contenders]
+loads = sat:56,per:28:90:7,idle
+wcet = off
+stop = horizon:30000
+trace = on
+";
+    let def = ScenarioDef::parse(text).expect("parses");
+    let cells = def.expand().expect("expands");
+    for seed in [2u64, 2017] {
+        let (a, b) = both_engines(&cells[0].spec, seed);
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(a.total_cycles, 30_000);
+        assert!(a.max_burst.iter().any(|m| m.is_some()));
+    }
+}
+
+/// Everything observable about one split-bus run, for exact comparison.
+#[derive(Debug, PartialEq)]
+struct SplitRunView {
+    completions: Vec<(Cycle, usize)>,
+    slots: Vec<u64>,
+    busy: Vec<u64>,
+    idle_cycles: u64,
+    total_cycles: u64,
+}
+
+/// Random mixed traffic (immediate / split / atomic) on the
+/// split-transaction bus: completions, traces, wait statistics and cycle
+/// counters agree under every policy and with a credit filter attached.
+#[test]
+fn split_bus_runs_are_bit_identical() {
+    for policy in [
+        PolicyKind::RandomPermutation,
+        PolicyKind::RoundRobin,
+        PolicyKind::Tdma,
+        PolicyKind::Lottery,
+    ] {
+        for with_cba in [false, true] {
+            for seed in [5u64, 99] {
+                let run = |fast: bool| -> SplitRunView {
+                    let mut bus =
+                        SplitBus::new(SplitBusConfig::paper(), policy.build(4, 56)).unwrap();
+                    if with_cba {
+                        bus.set_filter(Box::new(CreditFilter::new(
+                            CreditConfig::homogeneous(4, 56).unwrap(),
+                        )));
+                    }
+                    let mut rngs: Vec<SimRng> = (0..4)
+                        .map(|i| SimRng::seed_from(seed).fork(i as u64))
+                        .collect();
+                    let mut completions: Vec<(Cycle, usize)> = Vec::new();
+                    let cycle_fn = |bus: &mut SplitBus,
+                                    now: Cycle,
+                                    completed: Option<&cba_bus::split::SplitCompletion>|
+                     -> Control {
+                        if let Some(c) = completed {
+                            completions.push((now, c.core.index()));
+                        }
+                        for (i, rng) in rngs.iter_mut().enumerate() {
+                            let core = CoreId::from_index(i);
+                            if bus.is_idle(core) {
+                                let req = match rng.gen_range_u64(0..4) {
+                                    0 => SplitRequest::Immediate {
+                                        duration: rng.gen_range_u64(1..11) as u32,
+                                    },
+                                    1 | 2 => SplitRequest::Split,
+                                    _ => SplitRequest::Atomic { duration: 56 },
+                                };
+                                bus.post(core, req).unwrap();
+                            }
+                        }
+                        // Every core now has a request in flight; only bus
+                        // events (completions) can create client work.
+                        Control::Sleep(Cycle::MAX)
+                    };
+                    let outcome = if fast {
+                        drive_events(&mut bus, 40_000, cycle_fn)
+                    } else {
+                        drive(&mut bus, 40_000, cycle_fn)
+                    };
+                    assert_eq!(outcome.cycles, 40_000);
+                    let inner = bus.inner();
+                    let ids: Vec<CoreId> = (0..4).map(CoreId::from_index).collect();
+                    SplitRunView {
+                        completions,
+                        slots: ids.iter().map(|&c| inner.trace().slots(c)).collect(),
+                        busy: ids.iter().map(|&c| inner.trace().busy_cycles(c)).collect(),
+                        idle_cycles: inner.idle_cycles(),
+                        total_cycles: inner.total_cycles(),
+                    }
+                };
+                let naive = run(false);
+                let fast = run(true);
+                assert_eq!(
+                    naive, fast,
+                    "split-bus divergence: policy {policy:?}, cba {with_cba}, seed {seed}"
+                );
+            }
+        }
+    }
+}

@@ -122,6 +122,42 @@ fn paper_fig1_cell_means_match_the_fig1_driver_bit_for_bit() {
 }
 
 #[test]
+fn paper_fig1_fast_path_matches_the_naive_loop_bit_for_bit() {
+    // The shipped grid runs on the event-horizon engine by default; a
+    // trimmed version re-run through the per-cycle reference loop must
+    // produce the exact same floats (means, CIs, normalization).
+    let mut def = ScenarioDef::parse(&read_scn("paper_fig1.scn")).expect("parses");
+    def.runs = 3;
+    def.template.tua = TuaSpec::Profile {
+        name: "rspeed".into(),
+        overrides: vec![("accesses".into(), "300".into())],
+    };
+    let bench_axis = def
+        .axes
+        .iter_mut()
+        .find(|a| a.key == "bench")
+        .expect("bench axis");
+    bench_axis.values = vec![AxisValue::Raw("rspeed".into())];
+
+    assert_eq!(def.template.engine, "events", "fast path is the default");
+    let fast = cba_platform::run_scenario(&def).expect("fast grid runs");
+    def.template.engine = "naive".into();
+    let naive = cba_platform::run_scenario(&def).expect("naive grid runs");
+
+    assert_eq!(fast.cells.len(), naive.cells.len());
+    for (f, n) in fast.cells.iter().zip(&naive.cells) {
+        assert_eq!(f.labels, n.labels);
+        assert_eq!(f.mean, n.mean, "cell {:?}", f.labels);
+        assert_eq!(f.ci95, n.ci95, "cell {:?}", f.labels);
+        assert_eq!(f.min, n.min, "cell {:?}", f.labels);
+        assert_eq!(f.max, n.max, "cell {:?}", f.labels);
+        assert_eq!(f.percentiles, n.percentiles, "cell {:?}", f.labels);
+        assert_eq!(f.utilization, n.utilization, "cell {:?}", f.labels);
+        assert_eq!(f.normalized, n.normalized, "cell {:?}", f.labels);
+    }
+}
+
+#[test]
 fn every_shipped_scenario_parses_expands_and_round_trips() {
     let dir = scenarios_dir();
     let mut checked = 0;
