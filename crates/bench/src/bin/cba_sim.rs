@@ -47,6 +47,10 @@ scenario-file format (see scenarios/README.md for the commented example):
     [campaign]    name, runs, seed, threads (0 = auto)
     [platform]    cores, policy, cba (none|homog|hcba|w:3:1:1:1),
                   caps (2:1:1:1), lfsr (on|off)
+    [topology]    hierarchical fabric instead of the flat bus: clusters,
+                  cores_per_cluster (core count is derived), bridge_latency,
+                  bridge_depth, cluster_policy, cluster_cba,
+                  backbone_policy, backbone_cba (per-cluster weights)
     [tua]         load = SPEC, or profile = NAME plus knob overrides:
                   accesses, working_set, p_random, p_store, p_atomic,
                   p_ifetch, burst = LO:HI, gap = LO:HI, between = MEAN
@@ -58,7 +62,8 @@ scenario-file format (see scenarios/README.md for the commented example):
                   the cross-product runs as one campaign batch. Keys:
                   bench, setup (rp|cba|hcba|POLICY[+CBA]), scenario,
                   cores, policy, cba, weights (3:1:1:1), caps, duration,
-                  tua, fill, and the [tua] profile knobs
+                  tua, fill, clusters, bridge_latency, bridge_depth,
+                  cluster_cba, backbone_cba, and the [tua] profile knobs
     [report]      baseline = axis=value,... (normalize each group to the
                   matching cell, like Fig. 1's RP-ISO), percentiles = 50,95,99
 
@@ -333,8 +338,7 @@ fn run_flag_mode(
             .unwrap_or("none"),
         runs
     );
-    let record_trace = spec.record_trace;
-    let mut campaign = Campaign::new(spec, runs, seed);
+    let mut campaign = Campaign::new(spec.clone(), runs, seed);
     if let Some(t) = threads {
         if t > 0 {
             // 0 = auto: keep the campaign's own thread heuristic.
@@ -364,7 +368,7 @@ fn run_flag_mode(
         seed,
         &result,
         &[0.50, 0.95, 0.99],
-        record_trace,
+        &spec,
     );
     ScenarioReport {
         name: "cli".into(),

@@ -376,6 +376,24 @@ impl Bus {
     ///
     /// Panics if called without a matching [`Bus::begin_cycle`].
     pub fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+        self.end_cycle_gated(now, true)
+    }
+
+    /// [`Bus::end_cycle`] with an external grant gate: with
+    /// `allow_grant == false` no transaction (privileged or arbitrated) may
+    /// *start* this cycle, while completion, idle accounting and filter
+    /// state advance exactly as usual.
+    ///
+    /// This is the backpressure hook of the hierarchical fabric
+    /// ([`crate::fabric`]): a cluster bus must not begin a transfer whose
+    /// completion would overflow its bridge's bounded request queue, and
+    /// from the bus's own perspective a gated cycle is indistinguishable
+    /// from a cycle with no eligible candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching [`Bus::begin_cycle`].
+    pub fn end_cycle_gated(&mut self, now: Cycle, allow_grant: bool) -> Option<CoreId> {
         assert!(self.in_cycle, "end_cycle without begin_cycle");
         assert_eq!(
             self.last_cycle,
@@ -386,7 +404,7 @@ impl Bus {
         self.total_cycles += 1;
 
         let mut granted = None;
-        if matches!(self.state, BusState::Idle) {
+        if allow_grant && matches!(self.state, BusState::Idle) {
             // Privileged reservations (split-transaction response phases)
             // are served FIFO ahead of arbitration; otherwise the filter
             // and the policy pick among the pending requests.
@@ -776,6 +794,22 @@ mod tests {
     fn end_without_begin_panics() {
         let mut bus = rr_bus(1);
         bus.end_cycle(0);
+    }
+
+    #[test]
+    fn gated_end_cycle_defers_grants_but_keeps_accounting() {
+        let mut bus = rr_bus(2);
+        bus.post(req(0, 5, 0)).unwrap();
+        bus.post_privileged(req(1, 5, 0)).unwrap();
+        bus.begin_cycle(0);
+        assert_eq!(bus.end_cycle_gated(0, false), None);
+        assert!(bus.has_pending(c(0)), "request survives the gate");
+        assert_eq!(bus.idle_cycles(), 1, "a gated cycle is an idle cycle");
+        assert_eq!(bus.total_cycles(), 1);
+        // Opening the gate serves the privileged reservation first, as an
+        // ungated cycle would.
+        bus.begin_cycle(1);
+        assert_eq!(bus.end_cycle_gated(1, true), Some(c(1)));
     }
 
     #[test]

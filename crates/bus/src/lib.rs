@@ -3,12 +3,14 @@
 #![warn(missing_docs)]
 
 pub mod bus;
+pub mod fabric;
 pub mod pending;
 pub mod policies;
 pub mod policy;
 pub mod split;
 
 pub use bus::{Bus, BusConfig, BusState, CompletedTransaction, TickOutcome, WaitStats};
+pub use fabric::{Fabric, FabricConfig};
 pub use pending::{Candidate, PendingSet};
 pub use policy::{
     ArbitrationPolicy, EligibilityFilter, FilterHorizon, NoFilter, PolicyKind, RandomSource,
@@ -163,6 +165,48 @@ impl fmt::Display for BusError {
 }
 
 impl std::error::Error for BusError {}
+
+/// The client-side request port shared by every interconnect variant that
+/// addresses requests by [`CoreId`] — the flat [`Bus`] and the hierarchical
+/// [`Fabric`].
+///
+/// Client models (cores, contenders, fixed-request tasks) are written
+/// against this trait so the *same* client drives a single shared bus or a
+/// clustered fabric unchanged; only the interconnect behind the port
+/// differs. The port is intentionally narrower than [`BusModel`]: clients
+/// post, probe whether they may post, and withdraw — they never drive
+/// cycles.
+pub trait RequestPort {
+    /// Posts a bus request (phase 2 of the cycle protocol).
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject unknown cores, out-of-range durations and
+    /// double posts (see [`BusError`]).
+    fn post(&mut self, req: BusRequest) -> Result<(), BusError>;
+
+    /// Withdraws `core`'s pending request if it has not been granted yet
+    /// (on a fabric: if it has not left its cluster's pending set).
+    fn withdraw(&mut self, core: CoreId) -> Option<BusRequest>;
+
+    /// Whether `core` may post a fresh request: nothing of its is pending,
+    /// in service, or (on a fabric) anywhere in the bridge pipeline.
+    fn can_accept(&self, core: CoreId) -> bool;
+}
+
+impl RequestPort for Bus {
+    fn post(&mut self, req: BusRequest) -> Result<(), BusError> {
+        Bus::post(self, req)
+    }
+
+    fn withdraw(&mut self, core: CoreId) -> Option<BusRequest> {
+        Bus::withdraw(self, core)
+    }
+
+    fn can_accept(&self, core: CoreId) -> bool {
+        !self.has_pending(core) && self.owner() != Some(core)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
 //! Contention generators for the maximum-contention (WCET-estimation)
 //! scenarios.
 
-use cba_bus::{Bus, BusRequest, CompletedTransaction, RequestKind};
+use cba_bus::{BusRequest, CompletedTransaction, RequestKind, RequestPort};
 use sim_core::{CoreId, Cycle};
 
 /// A worst-case contender: always has a `duration`-cycle request posted,
@@ -67,13 +67,20 @@ impl Contender {
     }
 
     /// Advances one cycle: keeps exactly one request posted at all times.
-    pub fn tick(&mut self, now: Cycle, completed: Option<&CompletedTransaction>, bus: &mut Bus) {
+    /// Generic over the [`RequestPort`], so the same contender saturates a
+    /// flat bus or one cluster of a hierarchical fabric.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        bus: &mut (impl RequestPort + ?Sized),
+    ) {
         if let Some(ct) = completed {
             if ct.core == self.core {
                 self.grants += 1;
             }
         }
-        if !bus.has_pending(self.core) && bus.owner() != Some(self.core) {
+        if bus.can_accept(self.core) {
             bus.post(
                 BusRequest::new(self.core, self.duration, RequestKind::Contender, now)
                     .expect("validated duration"),
@@ -141,14 +148,19 @@ impl PeriodicContender {
     }
 
     /// Advances one cycle.
-    pub fn tick(&mut self, now: Cycle, completed: Option<&CompletedTransaction>, bus: &mut Bus) {
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        bus: &mut (impl RequestPort + ?Sized),
+    ) {
         if let Some(ct) = completed {
             if ct.core == self.core {
                 self.grants += 1;
             }
         }
         if now >= self.next_issue {
-            if !bus.has_pending(self.core) && bus.owner() != Some(self.core) {
+            if bus.can_accept(self.core) {
                 bus.post(
                     BusRequest::new(self.core, self.duration, RequestKind::Contender, now)
                         .expect("validated duration"),
@@ -178,7 +190,7 @@ impl PeriodicContender {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cba_bus::{BusConfig, PolicyKind};
+    use cba_bus::{Bus, BusConfig, PolicyKind};
 
     fn c(i: usize) -> CoreId {
         CoreId::from_index(i)

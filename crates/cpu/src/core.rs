@@ -2,7 +2,7 @@
 
 use crate::program::{Op, Program};
 use crate::store_buffer::StoreBuffer;
-use cba_bus::{Bus, BusRequest, CompletedTransaction};
+use cba_bus::{BusRequest, CompletedTransaction, RequestPort};
 use cba_mem::{AccessKind, BusTransaction, CoreMemory, HierarchyConfig, LatencyModel};
 use sim_core::rng::SimRng;
 use sim_core::{CoreId, Cycle};
@@ -156,7 +156,12 @@ impl Core {
     ///
     /// Panics if the bus rejects a post — by construction the core never
     /// double-posts and never exceeds MaxL, so a rejection is a wiring bug.
-    pub fn tick(&mut self, now: Cycle, completed: Option<&CompletedTransaction>, bus: &mut Bus) {
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        bus: &mut (impl RequestPort + ?Sized),
+    ) {
         // 1. Absorb a completion addressed to this core.
         if let Some(ct) = completed {
             if ct.core == self.id {
@@ -221,7 +226,7 @@ impl Core {
         }
     }
 
-    fn post(&mut self, bus: &mut Bus, tx: BusTransaction, now: Cycle) {
+    fn post(&mut self, bus: &mut (impl RequestPort + ?Sized), tx: BusTransaction, now: Cycle) {
         bus.post(BusRequest::new(self.id, tx.duration, tx.kind, now).expect("valid duration"))
             .expect("core never double-posts");
     }
@@ -338,7 +343,7 @@ impl Core {
 mod tests {
     use super::*;
     use crate::program::ScriptProgram;
-    use cba_bus::{BusConfig, PolicyKind};
+    use cba_bus::{Bus, BusConfig, PolicyKind};
     use cba_mem::MemAccess;
 
     fn run_solo(ops: Vec<Op>, max_cycles: Cycle) -> (Core, Bus, Cycle) {

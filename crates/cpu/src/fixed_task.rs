@@ -1,6 +1,6 @@
 //! A task with exactly-controlled bus behaviour, for analytic experiments.
 
-use cba_bus::{Bus, BusRequest, CompletedTransaction, RequestKind};
+use cba_bus::{BusRequest, CompletedTransaction, RequestKind, RequestPort};
 use sim_core::{CoreId, Cycle};
 
 /// A task issuing exactly `n_requests` bus transactions of a fixed
@@ -112,8 +112,14 @@ impl FixedRequestTask {
 
     /// Advances one cycle (tolerates gaps: ticking is only required at the
     /// cycles reported by [`FixedRequestTask::wake_at`] and at this task's
-    /// completions).
-    pub fn tick(&mut self, now: Cycle, completed: Option<&CompletedTransaction>, bus: &mut Bus) {
+    /// completions). Generic over the [`RequestPort`], so the same task
+    /// drives a flat bus or a hierarchical fabric.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        bus: &mut (impl RequestPort + ?Sized),
+    ) {
         if let Some(ct) = completed {
             if ct.core == self.core && matches!(self.state, FixedState::Waiting) {
                 self.completed += 1;
@@ -167,7 +173,7 @@ impl FixedRequestTask {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cba_bus::{BusConfig, PolicyKind};
+    use cba_bus::{Bus, BusConfig, PolicyKind};
 
     fn c(i: usize) -> CoreId {
         CoreId::from_index(i)

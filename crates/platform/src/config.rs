@@ -4,6 +4,41 @@ use cba::CreditConfig;
 use cba_bus::PolicyKind;
 use cba_mem::{HierarchyConfig, LatencyModel};
 
+/// Hierarchical-fabric topology: clusters of cores behind store-and-forward
+/// bridges onto a backbone bus, with an independent arbitration point
+/// (policy + optional credit filter) per segment (see `cba_bus::fabric`).
+///
+/// When a [`PlatformConfig`] carries a topology, `n_cores` must equal
+/// `clusters * cores_per_cluster` and the flat `policy`/`cba` fields are
+/// unused — each segment arbitrates with the fields below.
+#[derive(Debug, Clone)]
+pub struct FabricTopology {
+    /// Number of cluster buses.
+    pub clusters: usize,
+    /// Cores on each cluster bus.
+    pub cores_per_cluster: usize,
+    /// Store-and-forward delay of a bridge crossing, per direction.
+    pub bridge_latency: u32,
+    /// Capacity of each bridge's request and response queues.
+    pub bridge_depth: usize,
+    /// Arbitration policy instantiated on every cluster bus.
+    pub cluster_policy: PolicyKind,
+    /// Credit filter on every cluster bus (sized for `cores_per_cluster`).
+    pub cluster_cba: Option<CreditConfig>,
+    /// Arbitration policy on the backbone (over the bridges).
+    pub backbone_policy: PolicyKind,
+    /// Credit filter on the backbone (sized for `clusters`) — per-cluster
+    /// bandwidth weights live here.
+    pub backbone_cba: Option<CreditConfig>,
+}
+
+impl FabricTopology {
+    /// Total core count (`clusters * cores_per_cluster`).
+    pub fn n_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+}
+
 /// The paper's three evaluated bus configurations (Section IV.B), plus a
 /// free slot for ablations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +98,8 @@ pub struct PlatformConfig {
     /// (true) or the fast software RNG (false). Both are deterministic per
     /// seed.
     pub lfsr_randbank: bool,
+    /// Hierarchical-fabric topology; `None` = the flat single shared bus.
+    pub topology: Option<FabricTopology>,
 }
 
 impl PlatformConfig {
@@ -91,6 +128,7 @@ impl PlatformConfig {
             cba,
             store_buffer: cba_cpu::core::DEFAULT_STORE_BUFFER,
             lfsr_randbank: true,
+            topology: None,
         }
     }
 

@@ -11,7 +11,7 @@ pub mod report;
 pub mod scenario;
 
 pub use campaign::{run_seed, Campaign, CampaignResult};
-pub use config::{BusSetup, PlatformConfig};
+pub use config::{BusSetup, FabricTopology, PlatformConfig};
 pub use platform::{run_once, CoreLoad, DriveMode, RunResult, RunSpec, Scenario, StopCondition};
 pub use report::{run_scenario, CellReport, ScenarioReport};
 pub use scenario::{ScenarioDef, ScenarioError};

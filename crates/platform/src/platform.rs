@@ -1,15 +1,16 @@
 //! One deterministic platform run: assembly, cycle loop, result
 //! extraction.
 
-use crate::config::PlatformConfig;
+use crate::config::{FabricTopology, PlatformConfig};
 use cba::{CreditFilter, Mode};
-use cba_bus::{Bus, BusConfig, CompletedTransaction};
+use cba_bus::fabric::{Fabric, FabricConfig};
+use cba_bus::{Bus, BusConfig, BusError, BusRequest, CompletedTransaction, RequestPort};
 use cba_cpu::{Contender, Core, FixedRequestTask, PeriodicContender};
 use cba_workloads::{EembcProfile, Streaming, SyntheticEembc};
 use sim_core::engine::{drive, drive_events, Control};
 use sim_core::lfsr::LfsrBank;
 use sim_core::rng::SimRng;
-use sim_core::{CoreId, Cycle};
+use sim_core::{BusModel, CoreId, Cycle};
 
 /// What one core runs during a run.
 #[derive(Debug, Clone)]
@@ -205,6 +206,52 @@ impl RunSpec {
                 return Err("credit MaxL differs from the latency model's MaxL".into());
             }
         }
+        if let Some(topo) = &self.platform.topology {
+            let maxl = self.platform.latency.max_latency();
+            if topo.clusters == 0 || topo.cores_per_cluster == 0 {
+                return Err("topology needs at least one cluster and one core each".into());
+            }
+            if topo.n_cores() != self.platform.n_cores {
+                return Err(format!(
+                    "topology has {} x {} cores but the platform declares {}",
+                    topo.clusters, topo.cores_per_cluster, self.platform.n_cores
+                ));
+            }
+            if topo.bridge_latency == 0 || topo.bridge_depth == 0 {
+                return Err("bridge latency and depth must be positive".into());
+            }
+            if self.platform.cba.is_some() {
+                return Err(
+                    "a fabric platform configures filters per segment (cluster_cba / \
+                     backbone_cba), not via the flat cba field"
+                        .into(),
+                );
+            }
+            if let Some(c) = &topo.cluster_cba {
+                if c.n_cores() != topo.cores_per_cluster {
+                    return Err(format!(
+                        "cluster credit config sized for {} cores, clusters have {}",
+                        c.n_cores(),
+                        topo.cores_per_cluster
+                    ));
+                }
+                if c.max_latency() != maxl {
+                    return Err("cluster credit MaxL differs from the platform MaxL".into());
+                }
+            }
+            if let Some(c) = &topo.backbone_cba {
+                if c.n_cores() != topo.clusters {
+                    return Err(format!(
+                        "backbone credit config sized for {} bridges, fabric has {}",
+                        c.n_cores(),
+                        topo.clusters
+                    ));
+                }
+                if c.max_latency() != maxl {
+                    return Err("backbone credit MaxL differs from the platform MaxL".into());
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -324,7 +371,12 @@ impl Client {
         })
     }
 
-    fn tick(&mut self, now: Cycle, completed: Option<&CompletedTransaction>, bus: &mut Bus) {
+    fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        bus: &mut (impl RequestPort + ?Sized),
+    ) {
         match self {
             Client::Core(c) => c.tick(now, completed, bus),
             Client::Saturating(c) => c.tick(now, completed, bus),
@@ -375,6 +427,49 @@ impl Client {
     }
 }
 
+/// The simulation models [`run_once`] can drive: the workspace-wide cycle
+/// protocol plus the client request port and the per-run statistics the
+/// result extraction needs. Implemented by the flat [`Bus`] and the
+/// hierarchical [`Fabric`].
+trait SimModel:
+    BusModel<Request = BusRequest, Completion = CompletedTransaction, Error = BusError> + RequestPort
+{
+    /// Idle cycles of the shared resource (the bus / the backbone).
+    fn model_idle_cycles(&self) -> u64;
+    /// `(mean, max)` grant latency of core 0's requests at its first
+    /// arbitration point.
+    fn tua_wait(&self) -> (f64, u64);
+}
+
+impl SimModel for Bus {
+    fn model_idle_cycles(&self) -> u64 {
+        self.idle_cycles()
+    }
+
+    fn tua_wait(&self) -> (f64, u64) {
+        let c0 = CoreId::from_index(0);
+        (
+            self.wait_stats().mean_wait(c0),
+            self.wait_stats().max_wait(c0),
+        )
+    }
+}
+
+impl SimModel for Fabric {
+    fn model_idle_cycles(&self) -> u64 {
+        self.idle_cycles()
+    }
+
+    fn tua_wait(&self) -> (f64, u64) {
+        // Core 0 lives on cluster 0 as local core 0: its first arbitration
+        // point is that cluster bus.
+        let c0 = CoreId::from_index(0);
+        let stats = self.local_wait_stats(c0);
+        let local = self.local_id(c0);
+        (stats.mean_wait(local), stats.max_wait(local))
+    }
+}
+
 /// Executes one run of `spec` under `seed`, fully deterministically.
 ///
 /// # Panics
@@ -385,12 +480,24 @@ pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
     if let Err(why) = spec.validate() {
         panic!("invalid run spec: {why}");
     }
+    let rng = SimRng::seed_from(seed);
+    match &spec.platform.topology {
+        None => {
+            let mut bus = build_bus(spec, &rng);
+            execute(&mut bus, spec, &rng)
+        }
+        Some(topo) => {
+            let mut fabric = build_fabric(spec, topo, &rng);
+            execute(&mut fabric, spec, &rng)
+        }
+    }
+}
+
+/// Assembles the flat shared bus: policy, filter, random source, trace.
+fn build_bus(spec: &RunSpec, rng: &SimRng) -> Bus {
     let platform = &spec.platform;
     let n = platform.n_cores;
     let maxl = platform.latency.max_latency();
-    let rng = SimRng::seed_from(seed);
-
-    // Bus with policy, filter and random source.
     let mut bus = Bus::new(
         BusConfig::new(n, maxl).expect("validated platform"),
         platform.policy.build(n, maxl),
@@ -414,6 +521,84 @@ pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
     if spec.record_trace {
         bus.enable_recording_trace();
     }
+    bus
+}
+
+/// Assembles the hierarchical fabric: per-cluster policies and filters,
+/// the backbone's, and one random source per segment. In WCET-estimation
+/// mode the TuA's cluster (cluster 0, local core 0) runs its filter in
+/// `WcetEstimation` mode; every other segment arbitrates in operation
+/// mode — contenders on remote clusters never share the TuA's segment, so
+/// the COMP gating applies exactly where the TuA competes.
+fn build_fabric(spec: &RunSpec, topo: &FabricTopology, rng: &SimRng) -> Fabric {
+    let maxl = spec.platform.latency.max_latency();
+    let config = FabricConfig::new(
+        topo.clusters,
+        topo.cores_per_cluster,
+        maxl,
+        topo.bridge_latency,
+        topo.bridge_depth,
+    )
+    .expect("validated topology");
+    let cluster_policies = (0..topo.clusters)
+        .map(|_| topo.cluster_policy.build(topo.cores_per_cluster, maxl))
+        .collect();
+    let mut fabric = Fabric::new(
+        config,
+        cluster_policies,
+        topo.backbone_policy.build(topo.clusters, maxl),
+    )
+    .expect("validated topology");
+    if let Some(credit) = &topo.cluster_cba {
+        for k in 0..topo.clusters {
+            let mode = if spec.wcet_mode && k == 0 {
+                Mode::WcetEstimation {
+                    tua: CoreId::from_index(0),
+                }
+            } else {
+                Mode::Operation
+            };
+            fabric.set_cluster_filter(k, Box::new(CreditFilter::with_mode(credit.clone(), mode)));
+        }
+    }
+    if let Some(credit) = &topo.backbone_cba {
+        fabric.set_backbone_filter(Box::new(CreditFilter::new(credit.clone())));
+    }
+    // One independent random stream per arbitration point, all forked off
+    // the run seed (segment 0 = backbone, 1.. = clusters).
+    let arb = rng.fork(0xA9);
+    let segment_seed = |i: u64| arb.fork(i).next_u64();
+    if spec.platform.lfsr_randbank {
+        fabric.set_backbone_random_source(Box::new(
+            LfsrBank::new(16, segment_seed(0)).expect("valid width"),
+        ));
+        for k in 0..topo.clusters {
+            fabric.set_cluster_random_source(
+                k,
+                Box::new(LfsrBank::new(16, segment_seed(1 + k as u64)).expect("valid width")),
+            );
+        }
+    } else {
+        fabric.set_backbone_random_source(Box::new(SimRng::seed_from(segment_seed(0))));
+        for k in 0..topo.clusters {
+            fabric.set_cluster_random_source(
+                k,
+                Box::new(SimRng::seed_from(segment_seed(1 + k as u64))),
+            );
+        }
+    }
+    if spec.record_trace {
+        fabric.enable_recording_trace();
+    }
+    fabric
+}
+
+/// Builds the clients, drives `bus` to the stop condition and extracts the
+/// [`RunResult`] — shared verbatim by the flat-bus and fabric paths, so
+/// both run the exact same engine and accounting.
+fn execute<M: SimModel>(bus: &mut M, spec: &RunSpec, rng: &SimRng) -> RunResult {
+    let platform = &spec.platform;
+    let n = platform.n_cores;
 
     // Clients.
     let mut clients: Vec<Client> = spec
@@ -434,7 +619,7 @@ pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
     let events = spec.drive == DriveMode::Events;
     let mut prev: Option<Cycle> = None;
     let mut cycle_fn =
-        |bus: &mut Bus, now: Cycle, completed: Option<&CompletedTransaction>| -> Control {
+        |bus: &mut M, now: Cycle, completed: Option<&CompletedTransaction>| -> Control {
             if let Some(prev) = prev {
                 let skipped = now - prev - 1;
                 if skipped > 0 {
@@ -473,9 +658,9 @@ pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
             Control::Sleep(until)
         };
     let outcome = if events {
-        drive_events(&mut bus, spec.max_cycles, &mut cycle_fn)
+        drive_events(bus, spec.max_cycles, &mut cycle_fn)
     } else {
-        drive(&mut bus, spec.max_cycles, &mut cycle_fn)
+        drive(bus, spec.max_cycles, &mut cycle_fn)
     };
     let now = outcome.cycles;
     let finished = outcome.stopped;
@@ -493,15 +678,16 @@ pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
 
     let trace = bus.trace();
     let ids: Vec<CoreId> = (0..n).map(CoreId::from_index).collect();
+    let (tua_mean_wait, tua_max_wait) = bus.tua_wait();
     RunResult {
         tua_cycles: clients[0].done_at(),
         finished,
         total_cycles: now,
         bus_slots: ids.iter().map(|&c| trace.slots(c)).collect(),
         bus_busy: ids.iter().map(|&c| trace.busy_cycles(c)).collect(),
-        bus_idle: bus.idle_cycles(),
-        tua_mean_wait: bus.wait_stats().mean_wait(ids[0]),
-        tua_max_wait: bus.wait_stats().max_wait(ids[0]),
+        bus_idle: bus.model_idle_cycles(),
+        tua_mean_wait,
+        tua_max_wait,
         max_grant_gap: ids.iter().map(|&c| trace.max_grant_gap(c)).collect(),
         max_burst: ids.iter().map(|&c| trace.max_burst_len(c)).collect(),
     }

@@ -17,7 +17,7 @@
 
 use crate::campaign::{run_seed, CampaignResult};
 use crate::executor::{default_threads, run_indexed_streamed};
-use crate::platform::{run_once, RunResult};
+use crate::platform::{run_once, RunResult, RunSpec};
 use crate::scenario::{ScenarioDef, ScenarioError};
 use sim_core::export::{csv_field, fmt_number, Json};
 
@@ -55,6 +55,12 @@ pub struct CellReport {
     /// Mean (over runs) of the worst contender grant gap; trace-recording
     /// cells only.
     pub contender_max_gap: Option<f64>,
+    /// Mean per-cluster share of the backbone (busy cycles of the
+    /// cluster's cores / total cycles); fabric cells only.
+    pub cluster_shares: Option<Vec<f64>>,
+    /// Jain fairness index over the cluster shares (1 = perfectly even);
+    /// fabric cells only.
+    pub cluster_fairness: Option<f64>,
 }
 
 impl CellReport {
@@ -66,16 +72,18 @@ impl CellReport {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Aggregates a finished campaign into a report cell. `record_trace`
-    /// controls whether the burst/starvation summaries are extracted
-    /// (they are only meaningful when the spec recorded grant traces).
+    /// Aggregates a finished campaign into a report cell. The `spec`
+    /// decides which optional summaries are extracted: burst/starvation
+    /// metrics for trace-recording cells, per-cluster shares and the
+    /// cross-cluster fairness index for fabric cells.
     pub fn from_campaign(
         labels: Vec<(String, String)>,
         seed: u64,
         result: &crate::campaign::CampaignResult,
         qs: &[f64],
-        record_trace: bool,
+        spec: &RunSpec,
     ) -> CellReport {
+        let record_trace = spec.record_trace;
         let summary = result.summary();
         let percentiles = if result.samples().is_empty() {
             Vec::new()
@@ -112,6 +120,31 @@ impl CellReport {
         } else {
             (None, None)
         };
+        let (cluster_shares, cluster_fairness) = match &spec.platform.topology {
+            None => (None, None),
+            Some(topo) => {
+                let mut shares = vec![0.0f64; topo.clusters];
+                for r in result.results() {
+                    if r.total_cycles == 0 {
+                        continue;
+                    }
+                    for (k, share) in shares.iter_mut().enumerate() {
+                        let lo = k * topo.cores_per_cluster;
+                        let busy: u64 = r.bus_busy[lo..lo + topo.cores_per_cluster].iter().sum();
+                        *share += busy as f64 / r.total_cycles as f64;
+                    }
+                }
+                shares.iter_mut().for_each(|s| *s /= n_runs.max(1.0));
+                let sum: f64 = shares.iter().sum();
+                let sq: f64 = shares.iter().map(|s| s * s).sum();
+                let jain = if sq > 0.0 {
+                    (sum * sum) / (shares.len() as f64 * sq)
+                } else {
+                    1.0
+                };
+                (Some(shares), Some(jain))
+            }
+        };
         CellReport {
             labels,
             seed,
@@ -127,6 +160,8 @@ impl CellReport {
             normalized_ci95: None,
             tua_max_burst,
             contender_max_gap,
+            cluster_shares,
+            cluster_fairness,
         }
     }
 }
@@ -213,7 +248,7 @@ pub fn run_scenario_with(
                     cell.seed,
                     &campaign,
                     &def.report.percentiles,
-                    cell.spec.record_trace,
+                    &cell.spec,
                 );
                 done_cells += 1;
                 progress(done_cells, total, &report);
@@ -318,6 +353,15 @@ impl ScenarioReport {
                 if let Some(g) = c.contender_max_gap {
                     pairs.push(("contender_max_gap".into(), Json::Num(g)));
                 }
+                if let Some(shares) = &c.cluster_shares {
+                    pairs.push((
+                        "cluster_shares".into(),
+                        Json::Arr(shares.iter().map(|&s| Json::Num(s)).collect()),
+                    ));
+                }
+                if let Some(f) = c.cluster_fairness {
+                    pairs.push(("cluster_fairness".into(), Json::Num(f)));
+                }
                 Json::Obj(pairs)
             })
             .collect();
@@ -358,6 +402,20 @@ impl ScenarioReport {
         if trace {
             header.extend(["tua_max_burst", "contender_max_gap"].map(String::from));
         }
+        // Column count must cover every cell: a `clusters` sweep makes the
+        // share vectors ragged, and shorter cells pad with empty fields.
+        let clusters = self
+            .cells
+            .iter()
+            .map(|c| c.cluster_shares.as_ref().map(Vec::len).unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        for k in 0..clusters {
+            header.push(format!("cluster{k}_share"));
+        }
+        if clusters > 0 {
+            header.push("cluster_fairness".into());
+        }
         out.push_str(&header.join(","));
         out.push('\n');
         for c in &self.cells {
@@ -378,6 +436,13 @@ impl ScenarioReport {
             if trace {
                 row.push(c.tua_max_burst.map(fmt_number).unwrap_or_default());
                 row.push(c.contender_max_gap.map(fmt_number).unwrap_or_default());
+            }
+            if clusters > 0 {
+                let shares = c.cluster_shares.as_deref().unwrap_or(&[]);
+                for k in 0..clusters {
+                    row.push(shares.get(k).copied().map(fmt_number).unwrap_or_default());
+                }
+                row.push(c.cluster_fairness.map(fmt_number).unwrap_or_default());
             }
             out.push_str(&row.join(","));
             out.push('\n');
@@ -418,6 +483,10 @@ impl ScenarioReport {
                         let _ = write!(out, "        ");
                     }
                 }
+            }
+            if let Some(shares) = &c.cluster_shares {
+                let rendered: Vec<String> = shares.iter().map(|s| format!("{s:.3}")).collect();
+                let _ = write!(out, "  shares {}", rendered.join("/"));
             }
             if c.unfinished > 0 {
                 let _ = write!(out, "  [{} unfinished]", c.unfinished);
@@ -529,6 +598,45 @@ mod tests {
             .next()
             .unwrap()
             .ends_with("tua_max_burst,contender_max_gap"));
+    }
+
+    #[test]
+    fn csv_covers_the_widest_cell_of_a_cluster_sweep() {
+        let text = "\
+[campaign]
+runs = 1
+[platform]
+policy = rr
+[topology]
+clusters = 2
+cores_per_cluster = 2
+backbone_cba = homog
+[tua]
+load = fixed:10:5:0
+[contenders]
+fill = sat:28
+wcet = off
+stop = horizon:2000
+[sweep]
+clusters = 2,4
+";
+        let report = run_scenario(&ScenarioDef::parse(text).unwrap()).unwrap();
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert!(
+            header.contains(&"cluster3_share"),
+            "header must cover the 4-cluster cell: {header:?}"
+        );
+        // Every row has the full column set; the 2-cluster cell pads its
+        // missing shares with empty fields.
+        let row2: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let row4: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(row2.len(), header.len());
+        assert_eq!(row4.len(), header.len());
+        let col = header.iter().position(|&h| h == "cluster3_share").unwrap();
+        assert!(row2[col].is_empty(), "2-cluster cell pads: {row2:?}");
+        assert!(!row4[col].is_empty(), "4-cluster cell fills: {row4:?}");
     }
 
     #[test]

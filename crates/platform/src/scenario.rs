@@ -50,7 +50,7 @@
 //! # Ok::<(), cba_platform::scenario::ScenarioError>(())
 //! ```
 
-use crate::config::PlatformConfig;
+use crate::config::{FabricTopology, PlatformConfig};
 use crate::platform::{CoreLoad, DriveMode, RunSpec, Scenario, StopCondition};
 use cba::CreditConfig;
 use cba_bus::PolicyKind;
@@ -142,6 +142,59 @@ pub enum WcetSpec {
     Off,
 }
 
+/// The `[topology]` section: a hierarchical multi-bus fabric instead of
+/// the flat shared bus (see `cba_bus::fabric`). The core count is derived
+/// (`clusters * cores_per_cluster`); the `[platform]` `policy` is the
+/// default for both segment policies and the `[platform]` `cba` the
+/// default for the backbone filter, so `setup`/`cba`/`weights` sweep axes
+/// reshape the *backbone* sharing of a fabric scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyTemplate {
+    /// Number of cluster buses (default 2).
+    pub clusters: usize,
+    /// Cores on each cluster bus (default 4).
+    pub cores_per_cluster: usize,
+    /// Bridge store-and-forward delay per direction (default 2).
+    pub bridge_latency: u32,
+    /// Bridge request/response queue capacity (default 2).
+    pub bridge_depth: usize,
+    /// Cluster-bus policy override (default: the `[platform]` policy).
+    pub cluster_policy: Option<String>,
+    /// Cluster-bus credit-filter spec, sized for `cores_per_cluster`
+    /// (default `none`).
+    pub cluster_cba: String,
+    /// Per-core budget-cap multipliers for the cluster filters
+    /// (`2:1:1:1` style).
+    pub cluster_caps: Option<String>,
+    /// Backbone policy override (default: the `[platform]` policy).
+    pub backbone_policy: Option<String>,
+    /// Backbone credit-filter spec, sized for `clusters` (default: the
+    /// `[platform]` cba spec).
+    pub backbone_cba: Option<String>,
+    /// Per-bridge budget-cap multipliers for the backbone filter. Cap
+    /// headroom lets a heavy cluster bank credit and reclaim scheduling
+    /// slots it would otherwise lose to quantization (see
+    /// `scenarios/fabric_fairness.scn`).
+    pub backbone_caps: Option<String>,
+}
+
+impl Default for TopologyTemplate {
+    fn default() -> Self {
+        TopologyTemplate {
+            clusters: 2,
+            cores_per_cluster: 4,
+            bridge_latency: 2,
+            bridge_depth: 2,
+            cluster_policy: None,
+            cluster_cba: "none".into(),
+            cluster_caps: None,
+            backbone_policy: None,
+            backbone_cba: None,
+            backbone_caps: None,
+        }
+    }
+}
+
 /// The per-cell run template: every scenario key with its default. Sweep
 /// axes override fields of a clone of this template per grid point.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,6 +227,9 @@ pub struct Template {
     pub max_cycles: u64,
     /// Record the full grant trace (burst/starvation metrics).
     pub trace: bool,
+    /// Hierarchical-fabric topology (`[topology]` section); `None` = the
+    /// flat shared bus. With a topology, `cores` is derived from it.
+    pub topology: Option<TopologyTemplate>,
 }
 
 impl Default for Template {
@@ -192,6 +248,7 @@ impl Default for Template {
             stop: "tua".into(),
             max_cycles: 50_000_000,
             trace: false,
+            topology: None,
         }
     }
 }
@@ -302,6 +359,11 @@ pub const SWEEP_KEYS: &[&str] = &[
     "duration",
     "tua",
     "fill",
+    "clusters",
+    "bridge_latency",
+    "bridge_depth",
+    "cluster_cba",
+    "backbone_cba",
     "accesses",
     "working_set",
     "p_random",
@@ -358,12 +420,16 @@ impl ScenarioDef {
                     "campaign" | "platform" | "tua" | "contenders" | "sweep" | "report" => {
                         section = name;
                     }
+                    "topology" => {
+                        def.template.topology.get_or_insert_with(Default::default);
+                        section = name;
+                    }
                     other => {
                         return Err(ScenarioError::at(
                             lineno,
                             format!(
                                 "unknown section '[{other}]' (expected [campaign], [platform], \
-                                 [tua], [contenders], [sweep] or [report])"
+                                 [topology], [tua], [contenders], [sweep] or [report])"
                             ),
                         ))
                     }
@@ -390,6 +456,7 @@ impl ScenarioDef {
                 }
                 "campaign" => def.parse_campaign_key(&key, value, lineno)?,
                 "platform" => def.parse_platform_key(&key, value, lineno)?,
+                "topology" => def.parse_topology_key(&key, value, lineno)?,
                 "tua" => def.parse_tua_key(&key, value, lineno)?,
                 "contenders" => def.parse_contenders_key(&key, value, lineno)?,
                 "sweep" => def.parse_sweep_key(&key, value, lineno)?,
@@ -457,6 +524,75 @@ impl ScenarioDef {
                     format!(
                         "unknown [platform] key '{other}' (expected cores, policy, cba, caps, \
                          lfsr, engine)"
+                    ),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_topology_key(
+        &mut self,
+        key: &str,
+        value: &str,
+        lineno: usize,
+    ) -> Result<(), ScenarioError> {
+        let topo = self
+            .template
+            .topology
+            .as_mut()
+            .expect("[topology] section initializes the template");
+        match key {
+            "clusters" => {
+                topo.clusters = parse_num(value, "clusters", lineno)?;
+                if topo.clusters == 0 {
+                    return Err(ScenarioError::at(lineno, "clusters must be positive"));
+                }
+            }
+            "cores_per_cluster" => {
+                topo.cores_per_cluster = parse_num(value, "cores_per_cluster", lineno)?;
+                if topo.cores_per_cluster == 0 {
+                    return Err(ScenarioError::at(
+                        lineno,
+                        "cores_per_cluster must be positive",
+                    ));
+                }
+            }
+            "bridge_latency" => {
+                topo.bridge_latency = parse_num(value, "bridge_latency", lineno)?;
+                if topo.bridge_latency == 0 {
+                    return Err(ScenarioError::at(
+                        lineno,
+                        "bridge_latency must be at least 1",
+                    ));
+                }
+            }
+            "bridge_depth" => {
+                topo.bridge_depth = parse_num(value, "bridge_depth", lineno)?;
+                if topo.bridge_depth == 0 {
+                    return Err(ScenarioError::at(lineno, "bridge_depth must be at least 1"));
+                }
+            }
+            "cluster_policy" => {
+                parse_policy(value).map_err(|e| ScenarioError::at(lineno, e))?;
+                topo.cluster_policy = Some(value.to_string());
+            }
+            "backbone_policy" => {
+                parse_policy(value).map_err(|e| ScenarioError::at(lineno, e))?;
+                topo.backbone_policy = Some(value.to_string());
+            }
+            "cluster_cba" => topo.cluster_cba = value.to_string(),
+            "cluster_caps" => topo.cluster_caps = Some(value.to_string()),
+            "backbone_cba" => topo.backbone_cba = Some(value.to_string()),
+            "backbone_caps" => topo.backbone_caps = Some(value.to_string()),
+            other => {
+                return Err(ScenarioError::at(
+                    lineno,
+                    format!(
+                        "unknown [topology] key '{other}' (expected clusters, \
+                         cores_per_cluster, bridge_latency, bridge_depth, cluster_policy, \
+                         cluster_cba, cluster_caps, backbone_policy, backbone_cba, \
+                         backbone_caps)"
                     ),
                 ))
             }
@@ -690,6 +826,29 @@ impl ScenarioDef {
         }
         let _ = writeln!(out, "lfsr = {}", switch(t.lfsr));
         let _ = writeln!(out, "engine = {}", t.engine);
+        if let Some(topo) = &t.topology {
+            let _ = writeln!(out, "\n[topology]");
+            let _ = writeln!(out, "clusters = {}", topo.clusters);
+            let _ = writeln!(out, "cores_per_cluster = {}", topo.cores_per_cluster);
+            let _ = writeln!(out, "bridge_latency = {}", topo.bridge_latency);
+            let _ = writeln!(out, "bridge_depth = {}", topo.bridge_depth);
+            if let Some(p) = &topo.cluster_policy {
+                let _ = writeln!(out, "cluster_policy = {p}");
+            }
+            let _ = writeln!(out, "cluster_cba = {}", topo.cluster_cba);
+            if let Some(c) = &topo.cluster_caps {
+                let _ = writeln!(out, "cluster_caps = {c}");
+            }
+            if let Some(p) = &topo.backbone_policy {
+                let _ = writeln!(out, "backbone_policy = {p}");
+            }
+            if let Some(c) = &topo.backbone_cba {
+                let _ = writeln!(out, "backbone_cba = {c}");
+            }
+            if let Some(c) = &topo.backbone_caps {
+                let _ = writeln!(out, "backbone_caps = {c}");
+            }
+        }
         let _ = writeln!(out, "\n[tua]");
         match &t.tua {
             TuaSpec::Load(spec) => {
@@ -1118,6 +1277,24 @@ fn apply_axis(t: &mut Template, key: &str, value: &AxisValue) -> Result<String, 
             t.contenders = ContenderSpec::Fill(v.to_string());
             Ok(v.to_string())
         }
+        "clusters" | "bridge_latency" | "bridge_depth" | "cluster_cba" | "backbone_cba" => {
+            let topo = t.topology.as_mut().ok_or_else(|| {
+                format!("axis '{key}' requires a [topology] section in the scenario")
+            })?;
+            match key {
+                "clusters" => topo.clusters = v.parse().map_err(|_| bad_topo_num(key, v))?,
+                "bridge_latency" => {
+                    topo.bridge_latency = v.parse().map_err(|_| bad_topo_num(key, v))?
+                }
+                "bridge_depth" => {
+                    topo.bridge_depth = v.parse().map_err(|_| bad_topo_num(key, v))?
+                }
+                "cluster_cba" => topo.cluster_cba = v.to_string(),
+                "backbone_cba" => topo.backbone_cba = Some(v.to_string()),
+                _ => unreachable!("matched above"),
+            }
+            Ok(v.to_string())
+        }
         knob if PROFILE_KNOBS.contains(&knob) => {
             match &mut t.tua {
                 TuaSpec::Profile { overrides, .. } => {
@@ -1135,6 +1312,27 @@ fn apply_axis(t: &mut Template, key: &str, value: &AxisValue) -> Result<String, 
         }
         other => Err(format!("unknown sweep key '{other}'")),
     }
+}
+
+fn bad_topo_num(key: &str, value: &str) -> String {
+    format!("bad number '{value}' for topology axis '{key}'")
+}
+
+/// Applies a `2:1:1:1`-style cap-multiplier spec to a segment's credit
+/// config (which must exist: caps without a filter are meaningless).
+fn apply_caps(cba: Option<CreditConfig>, caps: &str, what: &str) -> Result<CreditConfig, String> {
+    let multipliers: Vec<u32> = caps
+        .split([':', ','])
+        .map(|c| {
+            c.trim()
+                .parse()
+                .map_err(|_| format!("bad cap multiplier '{c}' in {what}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let config = cba.ok_or_else(|| format!("{what} require a credit filter on that segment"))?;
+    config
+        .with_cap_multipliers(multipliers)
+        .map_err(|e| e.to_string())
 }
 
 fn apply_profile_knob(p: &mut EembcProfile, knob: &str, value: &str) -> Result<(), String> {
@@ -1200,7 +1398,12 @@ impl Template {
     pub fn build(&self) -> Result<RunSpec, String> {
         let latency = LatencyModel::paper();
         let maxl = latency.max_latency();
-        let n = self.cores;
+        // With a [topology] the core count is derived from it; the flat
+        // `cores` key is ignored (axes reshape the topology directly).
+        let n = match &self.topology {
+            Some(topo) => topo.clusters * topo.cores_per_cluster,
+            None => self.cores,
+        };
         if n == 0 || n > sim_core::CoreId::MAX_CORES {
             return Err(format!(
                 "core count {n} outside 1..={}",
@@ -1208,24 +1411,53 @@ impl Template {
             ));
         }
         let policy = parse_policy(&self.policy)?;
-        let mut cba = parse_cba_spec(&self.cba, n, maxl)?;
-        if let Some(caps) = &self.caps {
-            let multipliers: Vec<u32> = caps
-                .split([':', ','])
-                .map(|c| {
-                    c.trim()
-                        .parse()
-                        .map_err(|_| format!("bad cap multiplier '{c}'"))
+        let topology = match &self.topology {
+            None => None,
+            Some(topo) => {
+                if self.caps.is_some() {
+                    return Err(
+                        "caps apply to the flat bus; fabric filters are configured per \
+                         segment (cluster_cba / backbone_cba)"
+                            .into(),
+                    );
+                }
+                let cluster_policy =
+                    parse_policy(topo.cluster_policy.as_deref().unwrap_or(&self.policy))?;
+                let backbone_policy =
+                    parse_policy(topo.backbone_policy.as_deref().unwrap_or(&self.policy))?;
+                let mut cluster_cba =
+                    parse_cba_spec(&topo.cluster_cba, topo.cores_per_cluster, maxl)?;
+                let mut backbone_cba = parse_cba_spec(
+                    topo.backbone_cba.as_deref().unwrap_or(&self.cba),
+                    topo.clusters,
+                    maxl,
+                )?;
+                if let Some(caps) = &topo.cluster_caps {
+                    cluster_cba = Some(apply_caps(cluster_cba, caps, "cluster_caps")?);
+                }
+                if let Some(caps) = &topo.backbone_caps {
+                    backbone_cba = Some(apply_caps(backbone_cba, caps, "backbone_caps")?);
+                }
+                Some(FabricTopology {
+                    clusters: topo.clusters,
+                    cores_per_cluster: topo.cores_per_cluster,
+                    bridge_latency: topo.bridge_latency,
+                    bridge_depth: topo.bridge_depth,
+                    cluster_policy,
+                    cluster_cba,
+                    backbone_policy,
+                    backbone_cba,
                 })
-                .collect::<Result<_, String>>()?;
-            cba = match cba {
-                Some(config) => Some(
-                    config
-                        .with_cap_multipliers(multipliers)
-                        .map_err(|e| e.to_string())?,
-                ),
-                None => return Err("caps require a credit filter (cba != none)".into()),
-            };
+            }
+        };
+        let mut cba = match topology {
+            // The flat filter would be ambiguous on a fabric; the backbone
+            // filter (defaulted from the same `cba` key) replaces it.
+            Some(_) => None,
+            None => parse_cba_spec(&self.cba, n, maxl)?,
+        };
+        if let Some(caps) = &self.caps {
+            cba = Some(apply_caps(cba, caps, "caps")?);
         }
         let platform = PlatformConfig {
             n_cores: n,
@@ -1235,6 +1467,7 @@ impl Template {
             cba,
             store_buffer: cba_cpu::core::DEFAULT_STORE_BUFFER,
             lfsr_randbank: self.lfsr,
+            topology,
         };
         let tua = self.tua.build()?;
         let scenario = match &self.contenders {
@@ -1606,6 +1839,116 @@ scenario = iso,con
         let err = ScenarioDef::parse(text).unwrap().expand().unwrap_err();
         assert!(err.msg.contains("cell [scenario=ISO]"), "{err}");
         assert!(err.msg.contains("finite"), "{err}");
+    }
+
+    const FABRIC: &str = "\
+[campaign]
+runs = 1
+[platform]
+policy = rr
+[topology]
+clusters = 2
+cores_per_cluster = 3
+bridge_latency = 3
+bridge_depth = 2
+cluster_cba = homog
+backbone_cba = w:3:1
+backbone_caps = 2:2
+[tua]
+load = fixed:10:5:0
+[contenders]
+fill = sat:28
+wcet = off
+stop = horizon:1000
+";
+
+    #[test]
+    fn topology_section_builds_a_fabric_platform() {
+        let def = ScenarioDef::parse(FABRIC).unwrap();
+        let cells = def.expand().unwrap();
+        let spec = &cells[0].spec;
+        assert_eq!(spec.platform.n_cores, 6, "derived from the topology");
+        assert_eq!(spec.loads.len(), 6);
+        assert!(spec.platform.cba.is_none(), "filters live per segment");
+        let topo = spec.platform.topology.as_ref().expect("fabric platform");
+        assert_eq!(topo.clusters, 2);
+        assert_eq!(topo.cores_per_cluster, 3);
+        assert_eq!(topo.bridge_latency, 3);
+        assert_eq!(topo.bridge_depth, 2);
+        assert_eq!(topo.cluster_policy.name(), "RR", "defaults to [platform]");
+        assert_eq!(topo.backbone_policy.name(), "RR");
+        let cluster = topo.cluster_cba.as_ref().expect("cluster filter");
+        assert_eq!(cluster.n_cores(), 3);
+        let backbone = topo.backbone_cba.as_ref().expect("backbone filter");
+        assert_eq!(backbone.n_cores(), 2);
+        assert_eq!(backbone.scheme_name(), "H-CBA-cap", "weights + caps");
+        spec.validate().expect("fabric spec validates");
+    }
+
+    #[test]
+    fn topology_render_round_trips() {
+        let def = ScenarioDef::parse(FABRIC).unwrap();
+        let rendered = def.render();
+        let reparsed = ScenarioDef::parse(&rendered)
+            .unwrap_or_else(|e| panic!("render must re-parse: {e}\n{rendered}"));
+        assert_eq!(def, reparsed);
+        assert_eq!(
+            rendered,
+            reparsed.render(),
+            "second render is a fixed point"
+        );
+    }
+
+    #[test]
+    fn topology_axes_reshape_the_fabric() {
+        // A homogeneous backbone filter stays valid as the cluster count
+        // sweeps (per-cluster `w:` weights would be sized for one count).
+        let base = FABRIC.replace(
+            "backbone_cba = w:3:1\nbackbone_caps = 2:2\n",
+            "backbone_cba = homog\n",
+        );
+        let text = format!("{base}[sweep]\nclusters = 2,4\nbridge_latency = 1,8\n");
+        let cells = ScenarioDef::parse(&text).unwrap().expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        let topo = cells[0].spec.platform.topology.as_ref().unwrap();
+        assert_eq!((topo.clusters, topo.bridge_latency), (2, 1));
+        let topo = cells[1].spec.platform.topology.as_ref().unwrap();
+        assert_eq!((topo.clusters, topo.bridge_latency), (2, 8));
+        let topo = cells[2].spec.platform.topology.as_ref().unwrap();
+        assert_eq!((topo.clusters, topo.bridge_latency), (4, 1));
+        assert_eq!(cells[2].spec.platform.n_cores, 12, "4 clusters x 3 cores");
+        assert_eq!(
+            topo.backbone_cba.as_ref().unwrap().n_cores(),
+            4,
+            "homog filter re-derived per cluster count"
+        );
+    }
+
+    #[test]
+    fn topology_errors_are_specific() {
+        // Axis without a [topology] section.
+        let text = "[campaign]\nruns = 1\n[tua]\nload = idle\n[contenders]\nstop = horizon:10\n[sweep]\nclusters = 2,4\n";
+        let err = ScenarioDef::parse(text).unwrap().expand().unwrap_err();
+        assert!(err.msg.contains("requires a [topology]"), "{err}");
+
+        // Unknown key, with the line number.
+        let err = ScenarioDef::parse("[topology]\nwarp = 9\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.msg.contains("unknown [topology] key"), "{err}");
+
+        // Zero bridge latency rejected at parse time.
+        let err = ScenarioDef::parse("[topology]\nbridge_latency = 0\n").unwrap_err();
+        assert!(err.msg.contains("at least 1"), "{err}");
+
+        // Backbone weights sized for the wrong cluster count.
+        let text = FABRIC.replace("clusters = 2", "clusters = 4");
+        let err = ScenarioDef::parse(&text).unwrap().expand().unwrap_err();
+        assert!(err.msg.contains("weights"), "{err}");
+
+        // Caps without a filter on that segment.
+        let text = FABRIC.replace("backbone_cba = w:3:1\n", "");
+        let err = ScenarioDef::parse(&text).unwrap().expand().unwrap_err();
+        assert!(err.msg.contains("require a credit filter"), "{err}");
     }
 
     #[test]

@@ -26,8 +26,9 @@ fn both_engines(spec: &RunSpec, seed: u64) -> (RunResult, RunResult) {
     (run_once(&naive, seed), run_once(&events, seed))
 }
 
-/// The whole policy × filter × scenario grid on the non-split bus, with
-/// the WCET-estimation COMP machinery engaged in the CON cells.
+/// The whole policy × filter × scenario grid on the non-split bus —
+/// every built-in policy, FIFO and fixed-priority included — with the
+/// WCET-estimation COMP machinery engaged in the CON cells.
 #[test]
 fn policy_filter_grid_is_bit_identical() {
     let text = "\
@@ -37,13 +38,13 @@ runs = 1
 [tua]
 load = fixed:150:6:4
 [sweep]
-policy = rp,rr,tdma,lot
+policy = rp,rr,tdma,lot,fifo,pri
 cba = none,homog,hcba
 scenario = iso,con
 ";
     let def = ScenarioDef::parse(text).expect("grid parses");
     let cells = def.expand().expect("grid expands");
-    assert_eq!(cells.len(), 24);
+    assert_eq!(cells.len(), 36);
     for cell in &cells {
         for seed in [0u64, 13] {
             let (a, b) = both_engines(&cell.spec, seed);
@@ -54,7 +55,7 @@ scenario = iso,con
 }
 
 /// Core-model TuAs (caches, store buffers, random placement) against
-/// saturating contenders, both RNG backends.
+/// saturating contenders, every policy family, both RNG backends.
 #[test]
 fn core_model_runs_are_bit_identical() {
     let text = "\
@@ -64,11 +65,13 @@ runs = 1
 [tua]
 load = bench:rspeed
 [sweep]
-setup = rp,cba,hcba,tdma,rr+homog
+setup = rp,cba,hcba,tdma,rr+homog,fifo,pri+homog
 scenario = iso,con
 ";
     let def = ScenarioDef::parse(text).expect("parses");
-    for cell in def.expand().expect("expands") {
+    let cells = def.expand().expect("expands");
+    assert_eq!(cells.len(), 14);
+    for cell in cells {
         let mut spec = cell.spec.clone();
         for lfsr in [true, false] {
             spec.platform.lfsr_randbank = lfsr;
@@ -76,6 +79,93 @@ scenario = iso,con
             assert_eq!(a, b, "cell {:?} lfsr={lfsr}", cell.labels);
         }
     }
+}
+
+/// The hierarchical fabric across the policy grid with per-segment
+/// filters and mixed contender/fixed-task clients: bridges, bounded
+/// queues and gated cluster arbitration must all replay bit for bit
+/// under the fast path.
+#[test]
+fn fabric_grid_is_bit_identical() {
+    let text = "\
+[campaign]
+name = identity-fabric
+runs = 1
+[platform]
+policy = rr
+[topology]
+clusters = 2
+cores_per_cluster = 2
+bridge_latency = 2
+bridge_depth = 2
+[tua]
+load = fixed:120:6:4
+[contenders]
+loads = sat:28,per:28:90:7,idle
+wcet = off
+[sweep]
+policy = rp,rr,tdma,lot,fifo,pri
+cluster_cba = none,homog
+backbone_cba = none,homog
+";
+    let def = ScenarioDef::parse(text).expect("fabric grid parses");
+    let cells = def.expand().expect("fabric grid expands");
+    assert_eq!(cells.len(), 24);
+    for cell in &cells {
+        for seed in [3u64, 2017] {
+            let (a, b) = both_engines(&cell.spec, seed);
+            assert_eq!(
+                a, b,
+                "fabric divergence in cell {:?} seed {seed}",
+                cell.labels
+            );
+            assert!(a.finished, "fabric cell {:?} must finish", cell.labels);
+        }
+    }
+}
+
+/// Cache-driven core clients on the fabric (the full stack: caches and
+/// store buffers posting through cluster buses and bridges), both RNG
+/// backends, plus a horizon-stopped recording run for the trace metrics.
+#[test]
+fn fabric_core_model_and_trace_runs_are_bit_identical() {
+    let text = "\
+[campaign]
+name = identity-fabric-core
+runs = 1
+[platform]
+policy = rr
+[topology]
+clusters = 2
+cores_per_cluster = 2
+bridge_latency = 3
+bridge_depth = 2
+cluster_cba = homog
+backbone_cba = homog
+[tua]
+load = bench:rspeed
+[contenders]
+fill = sat:28
+wcet = off
+";
+    let def = ScenarioDef::parse(text).expect("parses");
+    let cells = def.expand().expect("expands");
+    let mut spec = cells[0].spec.clone();
+    for lfsr in [true, false] {
+        spec.platform.lfsr_randbank = lfsr;
+        let (a, b) = both_engines(&spec, 42);
+        assert_eq!(a, b, "fabric core-model lfsr={lfsr}");
+        assert!(a.finished);
+    }
+    // Horizon-stopped recording run: burst/starvation metrics too.
+    let mut spec = cells[0].spec.clone();
+    spec.loads[0] = cba_platform::CoreLoad::Saturating { duration: 5 };
+    spec.stop = cba_platform::StopCondition::Horizon(25_000);
+    spec.record_trace = true;
+    let (a, b) = both_engines(&spec, 7);
+    assert_eq!(a, b);
+    assert_eq!(a.total_cycles, 25_000);
+    assert!(a.max_burst.iter().any(|m| m.is_some()));
 }
 
 /// Horizon-stopped fairness runs with recording traces and periodic +

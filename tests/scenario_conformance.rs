@@ -186,16 +186,58 @@ fn every_shipped_scenario_parses_expands_and_round_trips() {
         }
         checked += 1;
     }
-    assert!(checked >= 6, "expected the shipped grids, found {checked}");
+    assert!(checked >= 8, "expected the shipped grids, found {checked}");
 }
 
+/// Every shipped scenario has a committed golden of its canonical render
+/// under `tests/data/<name>.rendered.scn`, and the render matches it —
+/// so an unrendered (new scenario without a golden) or drifted (parser or
+/// renderer change) scenario fails CI. Regenerate the goldens with
+/// `UPDATE_GOLDENS=1 cargo test --test scenario_conformance`.
 #[test]
-fn paper_fig1_renders_to_the_golden_canonical_form() {
-    let def = ScenarioDef::parse(&read_scn("paper_fig1.scn")).expect("parses");
-    let golden = include_str!("data/paper_fig1.rendered.scn");
-    assert_eq!(
-        def.render(),
-        golden,
-        "canonical render drifted; update tests/data/paper_fig1.rendered.scn"
-    );
+fn every_shipped_scenario_matches_its_committed_golden_render() {
+    let update = std::env::var_os("UPDATE_GOLDENS").is_some();
+    let data_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(scenarios_dir()).expect("scenarios/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("scn") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let def = ScenarioDef::parse(&std::fs::read_to_string(&path).expect("readable"))
+            .unwrap_or_else(|e| panic!("{path:?} fails to parse: {e}"));
+        let rendered = def.render();
+        let golden_path = data_dir.join(format!("{stem}.rendered.scn"));
+        if update {
+            std::fs::write(&golden_path, &rendered).expect("write golden");
+        } else {
+            let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+                panic!(
+                    "{golden_path:?}: {e}\nevery scenarios/*.scn needs a committed golden \
+                     render; run UPDATE_GOLDENS=1 cargo test --test scenario_conformance"
+                )
+            });
+            assert_eq!(
+                rendered, golden,
+                "canonical render of {stem}.scn drifted; regenerate with \
+                 UPDATE_GOLDENS=1 cargo test --test scenario_conformance"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 8, "expected the shipped grids, found {checked}");
+    // And no orphaned goldens for scenarios that no longer exist.
+    for entry in std::fs::read_dir(&data_dir).expect("tests/data exists") {
+        let path = entry.expect("readable entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(stem) = name.strip_suffix(".rendered.scn") {
+            assert!(
+                scenarios_dir().join(format!("{stem}.scn")).exists(),
+                "orphaned golden {name}: scenarios/{stem}.scn does not exist"
+            );
+        }
+    }
 }

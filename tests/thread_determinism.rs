@@ -1,0 +1,128 @@
+//! Thread-count determinism — PR 3's "results stay bit-identical for any
+//! thread count" claim as an enforced invariant.
+//!
+//! Every (cell × run) task of a campaign derives its seed from
+//! `(cell seed, run index)` alone, and the executor scatters results by
+//! index, so neither the pool size nor the scheduling order may leak into
+//! any reported number. These tests run the same sweep grid on 1, 2 and 8
+//! worker threads and compare whole reports — floats included — with
+//! exact equality.
+
+use cba_platform::scenario::ScenarioDef;
+use cba_platform::{run_scenario, Campaign, CellReport, CoreLoad, RunSpec, Scenario};
+
+const GRID: &str = "\
+[campaign]
+name = threads
+runs = 6
+seed = 41
+[tua]
+load = fixed:60:6:4
+[sweep]
+setup = rp,cba
+scenario = iso,con
+[report]
+baseline = setup=rp,scenario=iso
+";
+
+fn grid_with_threads(threads: usize) -> Vec<CellReport> {
+    let mut def = ScenarioDef::parse(GRID).expect("grid parses");
+    def.threads = Some(threads);
+    run_scenario(&def).expect("grid runs").cells
+}
+
+/// Exact-equality comparison of two cell reports (no float tolerance).
+fn assert_cells_identical(a: &CellReport, b: &CellReport, what: &str) {
+    assert_eq!(a.labels, b.labels, "{what}");
+    assert_eq!(a.seed, b.seed, "{what}");
+    assert_eq!(a.runs, b.runs, "{what}");
+    assert_eq!(a.unfinished, b.unfinished, "{what}");
+    assert_eq!(a.mean, b.mean, "{what}: mean");
+    assert_eq!(a.ci95, b.ci95, "{what}: ci95");
+    assert_eq!(a.min, b.min, "{what}: min");
+    assert_eq!(a.max, b.max, "{what}: max");
+    assert_eq!(a.percentiles, b.percentiles, "{what}: percentiles");
+    assert_eq!(a.utilization, b.utilization, "{what}: utilization");
+    assert_eq!(a.normalized, b.normalized, "{what}: normalized");
+    assert_eq!(a.normalized_ci95, b.normalized_ci95, "{what}");
+    assert_eq!(a.cluster_shares, b.cluster_shares, "{what}: shares");
+    assert_eq!(a.cluster_fairness, b.cluster_fairness, "{what}");
+}
+
+#[test]
+fn scenario_grid_reports_are_bit_identical_across_thread_counts() {
+    let reference = grid_with_threads(1);
+    assert_eq!(reference.len(), 4);
+    for threads in [2usize, 8] {
+        let cells = grid_with_threads(threads);
+        assert_eq!(cells.len(), reference.len());
+        for (a, b) in reference.iter().zip(&cells) {
+            assert_cells_identical(a, b, &format!("threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn fabric_grid_reports_are_bit_identical_across_thread_counts() {
+    let text = "\
+[campaign]
+name = fabric-threads
+runs = 4
+seed = 9
+[platform]
+policy = rr
+[topology]
+clusters = 2
+cores_per_cluster = 2
+bridge_latency = 2
+bridge_depth = 2
+backbone_cba = homog
+[tua]
+load = fixed:60:6:4
+[contenders]
+fill = sat:28
+wcet = off
+[sweep]
+bridge_latency = 1,4
+";
+    let run = |threads: usize| {
+        let mut def = ScenarioDef::parse(text).expect("parses");
+        def.threads = Some(threads);
+        run_scenario(&def).expect("runs").cells
+    };
+    let reference = run(1);
+    for threads in [2usize, 8] {
+        for (a, b) in reference.iter().zip(&run(threads)) {
+            assert_cells_identical(a, b, &format!("fabric threads={threads}"));
+        }
+    }
+}
+
+/// The raw campaign layer too: every `RunResult` (traces, wait stats,
+/// cycle counters — `RunResult` is `PartialEq` exactly) must be
+/// independent of the pool size, not just the aggregates.
+#[test]
+fn campaign_run_results_are_bit_identical_across_thread_counts() {
+    let spec = RunSpec::paper(
+        cba_platform::BusSetup::Cba,
+        Scenario::MaxContention,
+        CoreLoad::FixedTask {
+            n_requests: 80,
+            duration: 6,
+            gap: 4,
+        },
+    );
+    let reference = Campaign::new(spec.clone(), 9, 77).with_threads(1).run();
+    for threads in [2usize, 8] {
+        let other = Campaign::new(spec.clone(), 9, 77)
+            .with_threads(threads)
+            .run();
+        assert_eq!(reference.samples(), other.samples(), "threads={threads}");
+        assert_eq!(
+            reference.results(),
+            other.results(),
+            "raw RunResults, threads={threads}"
+        );
+        assert_eq!(reference.unfinished(), other.unfinished());
+    }
+}
