@@ -13,7 +13,7 @@
 use cba::{CreditConfig, CreditFilter};
 use cba_bench::{print_row, rule, seed_from_env};
 use cba_bus::split::{SplitBus, SplitBusConfig, SplitRequest};
-use cba_bus::PolicyKind;
+use cba_bus::{BusModel, PolicyKind};
 use sim_core::CoreId;
 
 #[derive(Clone, Copy)]

@@ -16,8 +16,8 @@
 //!    cycles `[t, t + duration)`; finally the filter's per-cycle state
 //!    (credit counters) advances.
 //!
-//! [`Bus::tick`] bundles both phases for simple clients that post between
-//! ticks.
+//! [`BusModel::tick`](sim_core::BusModel::tick) bundles both phases for
+//! simple clients that post between ticks.
 
 use crate::pending::{Candidate, PendingSet};
 use crate::policy::{ArbitrationPolicy, EligibilityFilter, NoFilter, RandomSource};
@@ -179,6 +179,32 @@ pub struct Bus {
     privileged: VecDeque<BusRequest>,
     in_cycle: bool,
     last_cycle: Option<Cycle>,
+    flip_watch: Option<FlipWatch>,
+}
+
+/// Observer state for credit-eligibility flips: the last verdict seen
+/// per core and the buffered flip events awaiting a drain (see
+/// [`Bus::enable_flip_probe`]).
+#[derive(Debug)]
+struct FlipWatch {
+    last: Vec<bool>,
+    events: Vec<(Cycle, CoreId, bool)>,
+}
+
+impl FlipWatch {
+    /// Upper bound on buffered, undrained flips. A drained-per-cycle
+    /// buffer (the `Simulation` loop with an active probe) holds at most
+    /// `n_cores` entries; the cap only matters when flip probing is
+    /// enabled but nothing drains, where the **oldest** flips are
+    /// discarded so memory stays bounded over arbitrarily long runs.
+    const MAX_BUFFERED: usize = 1 << 16;
+
+    fn push(&mut self, event: (Cycle, CoreId, bool)) {
+        if self.events.len() >= Self::MAX_BUFFERED {
+            self.events.drain(..Self::MAX_BUFFERED / 2);
+        }
+        self.events.push(event);
+    }
 }
 
 impl Bus {
@@ -200,6 +226,7 @@ impl Bus {
             privileged: VecDeque::new(),
             in_cycle: false,
             last_cycle: None,
+            flip_watch: None,
             config,
         }
     }
@@ -207,6 +234,56 @@ impl Bus {
     /// Replaces the eligibility filter (e.g. with a CBA credit filter).
     pub fn set_filter(&mut self, filter: Box<dyn EligibilityFilter>) {
         self.filter = filter;
+        if self.flip_watch.is_some() {
+            // Re-baseline the flip watcher against the new filter.
+            self.enable_flip_probe();
+        }
+    }
+
+    /// Starts watching the eligibility filter for verdict flips, to be
+    /// streamed through [`BusModel::drain_events`](
+    /// sim_core::BusModel::drain_events) as
+    /// [`ModelEvent::CreditFlip`](sim_core::ModelEvent)s. Off by default
+    /// (and then completely free); when enabled, every executed cycle
+    /// diffs each core's verdict after the filter tick.
+    ///
+    /// Flips are exact under the naive engine; under the event-horizon
+    /// engine, flips inside a skipped range are coalesced to the
+    /// skip-resume cycle. The buffer is bounded: if flips are never
+    /// drained, the oldest are discarded past ~65k entries — drain every
+    /// executed cycle (as the `Simulation` loop does when an active
+    /// probe is attached) to observe the complete stream.
+    pub fn enable_flip_probe(&mut self) {
+        let at = self.last_cycle.map_or(0, |t| t + 1);
+        let last: Vec<bool> = (0..self.config.n_cores)
+            .map(|i| self.filter.is_eligible(CoreId::from_index(i), at))
+            .collect();
+        match &mut self.flip_watch {
+            // Already watching (filter swap / reset): re-baseline the
+            // verdicts but keep any buffered, not-yet-drained events.
+            Some(watch) => watch.last = last,
+            None => {
+                self.flip_watch = Some(FlipWatch {
+                    last,
+                    events: Vec::new(),
+                })
+            }
+        }
+    }
+
+    /// Diffs every core's eligibility verdict for arbitration cycle `at`
+    /// against the watcher's baseline, buffering the flips.
+    fn record_flips(&mut self, at: Cycle) {
+        if let Some(watch) = &mut self.flip_watch {
+            for i in 0..watch.last.len() {
+                let core = CoreId::from_index(i);
+                let eligible = self.filter.is_eligible(core, at);
+                if eligible != watch.last[i] {
+                    watch.last[i] = eligible;
+                    watch.push((at, core, eligible));
+                }
+            }
+        }
     }
 
     /// Replaces the random-bit source used by randomized policies.
@@ -432,6 +509,9 @@ impl Bus {
             self.idle_cycles += 1;
         }
         self.filter.tick(now, owner_now, &self.pending);
+        if self.flip_watch.is_some() {
+            self.record_flips(now + 1);
+        }
         granted
     }
 
@@ -447,13 +527,6 @@ impl Bus {
         self.wait
             .record(req.core(), now.saturating_sub(req.issued_at()));
         self.filter.on_grant(req.core(), req.duration(), now);
-    }
-
-    /// Convenience single-phase tick; see
-    /// [`BusModel::tick`](sim_core::BusModel::tick), of which this is the
-    /// inherent mirror so callers without the trait in scope keep working.
-    pub fn tick(&mut self, now: Cycle) -> TickOutcome {
-        sim_core::BusModel::tick(self, now)
     }
 
     /// The bus's event horizon for the fast-forward engine (see
@@ -527,6 +600,10 @@ impl Bus {
         }
         self.filter.advance(from + 1, k, owner, &self.pending);
         self.last_cycle = Some(to - 1);
+        if self.flip_watch.is_some() {
+            // Flips inside the skipped range coalesce to the resume cycle.
+            self.record_flips(to);
+        }
     }
 
     /// Resets the bus (state, pending requests, statistics, policy and
@@ -546,6 +623,12 @@ impl Bus {
         self.total_cycles = 0;
         self.in_cycle = false;
         self.last_cycle = None;
+        if let Some(watch) = &mut self.flip_watch {
+            // Stale events belong to the finished run; re-baseline
+            // against the freshly reset filter.
+            watch.events.clear();
+            self.enable_flip_probe();
+        }
     }
 }
 
@@ -584,6 +667,14 @@ impl sim_core::BusModel for Bus {
     fn advance(&mut self, from: Cycle, to: Cycle) {
         Bus::advance(self, from, to)
     }
+
+    fn drain_events(&mut self, sink: &mut dyn FnMut(sim_core::ModelEvent)) {
+        if let Some(watch) = &mut self.flip_watch {
+            for (at, core, eligible) in watch.events.drain(..) {
+                sink(sim_core::ModelEvent::CreditFlip { at, core, eligible });
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -591,6 +682,7 @@ mod tests {
     use super::*;
     use crate::policies::{RoundRobin, Tdma};
     use crate::policy::EligibilityFilter;
+    use sim_core::BusModel;
 
     fn c(i: usize) -> CoreId {
         CoreId::from_index(i)

@@ -585,10 +585,16 @@ impl Fabric {
         self.last_cycle = Some(to - 1);
     }
 
-    /// Convenience single-phase tick; see
-    /// [`BusModel::tick`](sim_core::BusModel::tick).
-    pub fn tick(&mut self, now: Cycle) -> sim_core::TickOutcome<CompletedTransaction> {
-        sim_core::BusModel::tick(self, now)
+    /// Starts watching every cluster bus's eligibility filter for
+    /// verdict flips (see [`Bus::enable_flip_probe`]); flips stream
+    /// through [`BusModel::drain_events`](sim_core::BusModel::drain_events)
+    /// with cluster-local cores remapped to their global identities.
+    /// Backbone (per-bridge) flips are not forwarded — bridge indices
+    /// are not core identities.
+    pub fn enable_flip_probe(&mut self) {
+        for bus in &mut self.clusters {
+            bus.enable_flip_probe();
+        }
     }
 
     /// Resets every segment, bridge and statistic for a fresh run, reusing
@@ -646,6 +652,23 @@ impl sim_core::BusModel for Fabric {
     fn advance(&mut self, from: Cycle, to: Cycle) {
         Fabric::advance(self, from, to)
     }
+
+    fn drain_events(&mut self, sink: &mut dyn FnMut(sim_core::ModelEvent)) {
+        let cores_per_cluster = self.config.cores_per_cluster();
+        for (k, bus) in self.clusters.iter_mut().enumerate() {
+            sim_core::BusModel::drain_events(bus, &mut |event| match event {
+                sim_core::ModelEvent::CreditFlip { at, core, eligible } => {
+                    sink(sim_core::ModelEvent::CreditFlip {
+                        at,
+                        core: CoreId::from_index(k * cores_per_cluster + core.index()),
+                        eligible,
+                    })
+                }
+                #[allow(unreachable_patterns)]
+                other => sink(other),
+            });
+        }
+    }
 }
 
 impl RequestPort for Fabric {
@@ -666,7 +689,7 @@ impl RequestPort for Fabric {
 mod tests {
     use super::*;
     use crate::PolicyKind;
-    use sim_core::engine::{drive, drive_events, Control};
+    use sim_core::engine::{drive, drive_events, BusModel, Control};
 
     fn c(i: usize) -> CoreId {
         CoreId::from_index(i)

@@ -119,7 +119,7 @@ pub struct SplitCompletion {
 ///
 /// ```
 /// use cba_bus::split::{SplitBus, SplitBusConfig, SplitRequest};
-/// use cba_bus::PolicyKind;
+/// use cba_bus::{BusModel, PolicyKind};
 /// use sim_core::CoreId;
 ///
 /// let mut bus = SplitBus::new(SplitBusConfig::paper(),
@@ -179,6 +179,12 @@ impl SplitBus {
     /// drain for held bus cycles only).
     pub fn set_filter(&mut self, filter: Box<dyn crate::policy::EligibilityFilter>) {
         self.inner.set_filter(filter);
+    }
+
+    /// Starts watching the underlying bus's eligibility filter for
+    /// verdict flips (see [`Bus::enable_flip_probe`]).
+    pub fn enable_flip_probe(&mut self) {
+        self.inner.enable_flip_probe();
     }
 
     /// The underlying bus (occupancy trace, wait statistics).
@@ -308,15 +314,6 @@ impl SplitBus {
         self.inner.end_cycle(now)
     }
 
-    /// Convenience single-phase tick; see
-    /// [`BusModel::tick`](sim_core::BusModel::tick), of which this is the
-    /// inherent mirror so callers without the trait in scope keep working.
-    /// The returned outcome iterates over the completion, preserving the
-    /// `for c in bus.tick(now)` idiom.
-    pub fn tick(&mut self, now: Cycle) -> sim_core::TickOutcome<SplitCompletion> {
-        sim_core::BusModel::tick(self, now)
-    }
-
     /// The split bus's event horizon (see
     /// [`BusModel::next_event`](sim_core::BusModel::next_event)): the
     /// earlier of the underlying bus's event and the memory channel's
@@ -393,6 +390,10 @@ impl sim_core::BusModel for SplitBus {
     fn advance(&mut self, from: Cycle, to: Cycle) {
         SplitBus::advance(self, from, to)
     }
+
+    fn drain_events(&mut self, sink: &mut dyn FnMut(sim_core::ModelEvent)) {
+        sim_core::BusModel::drain_events(&mut self.inner, sink)
+    }
 }
 
 fn validate_duration(duration: u32, maxl: u32) -> Result<(), BusError> {
@@ -410,6 +411,7 @@ fn validate_duration(duration: u32, maxl: u32) -> Result<(), BusError> {
 mod tests {
     use super::*;
     use crate::PolicyKind;
+    use sim_core::BusModel;
 
     fn c(i: usize) -> CoreId {
         CoreId::from_index(i)

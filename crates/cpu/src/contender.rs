@@ -2,7 +2,9 @@
 //! scenarios.
 
 use cba_bus::{BusRequest, CompletedTransaction, RequestKind, RequestPort};
-use sim_core::{CoreId, Cycle};
+use sim_core::agent::{AgentStats, SimAgent};
+use sim_core::rng::SimRng;
+use sim_core::{Control, CoreId, Cycle};
 
 /// A worst-case contender: always has a `duration`-cycle request posted,
 /// re-posting the same cycle the previous one completes.
@@ -103,6 +105,39 @@ impl Contender {
     }
 }
 
+/// The open client-side interface: a saturating contender never
+/// finishes, sleeps until bus events, and resets to zero grants.
+impl<P: RequestPort + ?Sized> SimAgent<P, CompletedTransaction> for Contender {
+    fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        port: &mut P,
+    ) -> Control {
+        Contender::tick(self, now, completed, port);
+        Control::Sleep(Cycle::MAX)
+    }
+
+    fn wake_at(&self) -> Option<Cycle> {
+        Contender::wake_at(self)
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    fn reset(&mut self, _rng: &mut SimRng) {
+        Contender::reset(self);
+    }
+
+    fn stats(&self) -> AgentStats {
+        AgentStats {
+            completed: self.grants,
+            ..Default::default()
+        }
+    }
+}
+
 /// A periodic contender: issues a `duration`-cycle request every `period`
 /// cycles (models a real co-runner with known bandwidth demand rather than
 /// the worst case).
@@ -114,6 +149,7 @@ pub struct PeriodicContender {
     core: CoreId,
     duration: u32,
     period: Cycle,
+    phase: Cycle,
     next_issue: Cycle,
     grants: u64,
 }
@@ -132,6 +168,7 @@ impl PeriodicContender {
             core,
             duration,
             period,
+            phase,
             next_issue: phase,
             grants: 0,
         }
@@ -184,6 +221,39 @@ impl PeriodicContender {
     /// can make it act.
     pub fn wake_at(&self) -> Option<Cycle> {
         Some(self.next_issue)
+    }
+}
+
+/// The open client-side interface: a periodic contender never finishes
+/// and resets to its construction-time phase.
+impl<P: RequestPort + ?Sized> SimAgent<P, CompletedTransaction> for PeriodicContender {
+    fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        port: &mut P,
+    ) -> Control {
+        PeriodicContender::tick(self, now, completed, port);
+        Control::Sleep(self.next_issue)
+    }
+
+    fn wake_at(&self) -> Option<Cycle> {
+        PeriodicContender::wake_at(self)
+    }
+
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    fn reset(&mut self, _rng: &mut SimRng) {
+        PeriodicContender::reset(self, self.phase);
+    }
+
+    fn stats(&self) -> AgentStats {
+        AgentStats {
+            completed: self.grants,
+            ..Default::default()
+        }
     }
 }
 

@@ -4,8 +4,9 @@ use crate::program::{Op, Program};
 use crate::store_buffer::StoreBuffer;
 use cba_bus::{BusRequest, CompletedTransaction, RequestPort};
 use cba_mem::{AccessKind, BusTransaction, CoreMemory, HierarchyConfig, LatencyModel};
+use sim_core::agent::{AgentStats, SimAgent};
 use sim_core::rng::SimRng;
-use sim_core::{CoreId, Cycle};
+use sim_core::{Control, CoreId, Cycle};
 
 /// Default store-buffer depth (two entries, LEON3-style single write buffer
 /// plus one in flight).
@@ -336,6 +337,54 @@ impl Core {
         self.pending = None;
         self.stats = CoreStats::default();
         self.done_at = None;
+    }
+}
+
+/// The open client-side interface: the full core model, with exact
+/// stall accounting under skipped stretches and an RNG-reseeding reset.
+impl<P: RequestPort + ?Sized> SimAgent<P, CompletedTransaction> for Core {
+    fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        port: &mut P,
+    ) -> Control {
+        Core::tick(self, now, completed, port);
+        match Core::wake_at(self) {
+            Some(t) => Control::Sleep(t),
+            None => Control::Continue,
+        }
+    }
+
+    fn wake_at(&self) -> Option<Cycle> {
+        Core::wake_at(self)
+    }
+
+    fn is_done(&self) -> bool {
+        Core::is_done(self)
+    }
+
+    fn done_at(&self) -> Option<Cycle> {
+        Core::done_at(self)
+    }
+
+    fn absorb_skipped(&mut self, skipped: u64) {
+        Core::absorb_skipped(self, skipped);
+    }
+
+    fn reset(&mut self, rng: &mut SimRng) {
+        Core::reset(self, rng);
+    }
+
+    fn stats(&self) -> AgentStats {
+        let s = &self.stats;
+        AgentStats {
+            completed: s.blocking_transactions + s.store_transactions,
+            busy_cycles: s.busy_cycles,
+            bus_stall_cycles: s.bus_stall_cycles,
+            store_stall_cycles: s.store_stall_cycles,
+            done_at: self.done_at,
+        }
     }
 }
 

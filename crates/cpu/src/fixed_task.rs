@@ -1,7 +1,9 @@
 //! A task with exactly-controlled bus behaviour, for analytic experiments.
 
 use cba_bus::{BusRequest, CompletedTransaction, RequestKind, RequestPort};
-use sim_core::{CoreId, Cycle};
+use sim_core::agent::{AgentStats, SimAgent};
+use sim_core::rng::SimRng;
+use sim_core::{Control, CoreId, Cycle};
 
 /// A task issuing exactly `n_requests` bus transactions of a fixed
 /// `duration`, separated by fixed compute `gap`s — the task under analysis
@@ -167,6 +169,47 @@ impl FixedRequestTask {
         self.issued = 0;
         self.completed = 0;
         self.done_at = None;
+    }
+}
+
+/// The open client-side interface: the fixed-request task sleeps through
+/// its compute gaps and finishes after its last completion.
+impl<P: RequestPort + ?Sized> SimAgent<P, CompletedTransaction> for FixedRequestTask {
+    fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        port: &mut P,
+    ) -> Control {
+        FixedRequestTask::tick(self, now, completed, port);
+        match FixedRequestTask::wake_at(self) {
+            Some(t) => Control::Sleep(t),
+            None => Control::Continue,
+        }
+    }
+
+    fn wake_at(&self) -> Option<Cycle> {
+        FixedRequestTask::wake_at(self)
+    }
+
+    fn is_done(&self) -> bool {
+        FixedRequestTask::is_done(self)
+    }
+
+    fn done_at(&self) -> Option<Cycle> {
+        FixedRequestTask::done_at(self)
+    }
+
+    fn reset(&mut self, _rng: &mut SimRng) {
+        FixedRequestTask::reset(self);
+    }
+
+    fn stats(&self) -> AgentStats {
+        AgentStats {
+            completed: self.completed,
+            done_at: self.done_at,
+            ..Default::default()
+        }
     }
 }
 

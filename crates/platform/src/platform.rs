@@ -1,19 +1,27 @@
 //! One deterministic platform run: assembly, cycle loop, result
 //! extraction.
 
+use crate::agents::{default_registry, AgentRegistry, PortAgent};
 use crate::config::{FabricTopology, PlatformConfig};
+use crate::probes::{WindowedFairness, WindowedFairnessProbe};
 use cba::{CreditFilter, Mode};
 use cba_bus::fabric::{Fabric, FabricConfig};
 use cba_bus::{Bus, BusConfig, BusError, BusRequest, CompletedTransaction, RequestPort};
-use cba_cpu::{Contender, Core, FixedRequestTask, PeriodicContender};
-use cba_workloads::{EembcProfile, Streaming, SyntheticEembc};
-use sim_core::engine::{drive, drive_events, Control};
+use cba_workloads::EembcProfile;
 use sim_core::lfsr::LfsrBank;
 use sim_core::rng::SimRng;
-use sim_core::{BusModel, CoreId, Cycle};
+use sim_core::{BusModel, CoreId, Cycle, Engine, Probe, Simulation, StopWhen};
+use std::fmt;
 
 /// What one core runs during a run.
+///
+/// Each variant corresponds to an agent **kind** in the
+/// [`AgentRegistry`]; [`CoreLoad::Custom`]
+/// names a user-registered kind, so downstream crates can add workload
+/// shapes without touching this enum (which is why it is
+/// `#[non_exhaustive]`).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum CoreLoad {
     /// A synthetic benchmark profile through the full core + cache model.
     Profile(EembcProfile),
@@ -51,6 +59,17 @@ pub enum CoreLoad {
     },
     /// Nothing runs on this core.
     Idle,
+    /// A user-registered agent kind (scenario syntax
+    /// `agent:KIND:ARGS...`): resolved against the
+    /// [`AgentRegistry`] at build time, so
+    /// new workload shapes need no edit to this crate.
+    Custom {
+        /// Registered kind name.
+        kind: String,
+        /// Raw `:`-separated arguments, interpreted by the kind's
+        /// builder.
+        args: Vec<String>,
+    },
 }
 
 impl CoreLoad {
@@ -59,17 +78,66 @@ impl CoreLoad {
         CoreLoad::Named(name.to_string())
     }
 
-    /// Whether this load finishes on its own.
+    /// Whether this load finishes on its own. [`CoreLoad::Custom`] kinds
+    /// are assumed finite (an infinite custom agent under a `TuaDone` /
+    /// `AllDone` stop runs into the `max_cycles` safety limit).
     pub fn is_finite(&self) -> bool {
         !matches!(
             self,
             CoreLoad::Saturating { .. } | CoreLoad::Periodic { .. }
         )
     }
+
+    /// The agent-registry kind name this load resolves through.
+    pub fn kind(&self) -> &str {
+        match self {
+            CoreLoad::Profile(_) => "profile",
+            CoreLoad::Named(_) => "bench",
+            CoreLoad::Streaming { .. } => "stream",
+            CoreLoad::Saturating { .. } => "sat",
+            CoreLoad::Periodic { .. } => "per",
+            CoreLoad::FixedTask { .. } => "fixed",
+            CoreLoad::Idle => "idle",
+            CoreLoad::Custom { kind, .. } => kind,
+        }
+    }
+}
+
+/// Renders in the scenario load-spec mini-language (`bench:NAME`,
+/// `fixed:R:D:G`, `sat:D`, `per:D:P:PH`, `stream:A`, `idle`,
+/// `agent:KIND:ARGS...`), so error messages read like scenario files.
+impl fmt::Display for CoreLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreLoad::Profile(p) => write!(f, "bench:{}", p.name),
+            CoreLoad::Named(name) => write!(f, "bench:{name}"),
+            CoreLoad::Streaming { accesses } => write!(f, "stream:{accesses}"),
+            CoreLoad::Saturating { duration } => write!(f, "sat:{duration}"),
+            CoreLoad::Periodic {
+                duration,
+                period,
+                phase,
+            } => write!(f, "per:{duration}:{period}:{phase}"),
+            CoreLoad::FixedTask {
+                n_requests,
+                duration,
+                gap,
+            } => write!(f, "fixed:{n_requests}:{duration}:{gap}"),
+            CoreLoad::Idle => f.write_str("idle"),
+            CoreLoad::Custom { kind, args } => {
+                write!(f, "agent:{kind}")?;
+                for a in args {
+                    write!(f, ":{a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Workload placement patterns for the paper's experiments.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum Scenario {
     /// The task under analysis runs alone.
     Isolation,
@@ -81,12 +149,34 @@ pub enum Scenario {
     Custom(Vec<CoreLoad>),
 }
 
+/// Renders with the scenario-file vocabulary (`iso`, `con`, or the
+/// custom load list).
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scenario::Isolation => f.write_str("iso"),
+            Scenario::MaxContention => f.write_str("con"),
+            Scenario::Custom(loads) => {
+                f.write_str("custom[")?;
+                for (i, load) in loads.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{load}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
 /// Which cycle loop executes a run.
 ///
 /// Both produce **bit-identical** results (asserted by the workspace's
 /// property tests); the naive loop exists as the reference implementation
 /// and as the debugging fallback when a fast-path divergence is suspected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum DriveMode {
     /// The event-horizon fast path ([`sim_core::drive_events`]): skips
     /// provably uneventful cycle ranges (mid-transaction stretches, idle
@@ -99,8 +189,20 @@ pub enum DriveMode {
     Naive,
 }
 
+/// Renders as the scenario `engine` key's vocabulary (`events`,
+/// `naive`).
+impl fmt::Display for DriveMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DriveMode::Events => "events",
+            DriveMode::Naive => "naive",
+        })
+    }
+}
+
 /// When the run loop stops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StopCondition {
     /// Stop when core 0 (the TuA) finishes.
     TuaDone,
@@ -108,6 +210,18 @@ pub enum StopCondition {
     AllDone,
     /// Run exactly this many cycles (for share/fairness measurements).
     Horizon(Cycle),
+}
+
+/// Renders as the scenario `stop` key's vocabulary (`tua`, `all`,
+/// `horizon:N`).
+impl fmt::Display for StopCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCondition::TuaDone => f.write_str("tua"),
+            StopCondition::AllDone => f.write_str("all"),
+            StopCondition::Horizon(h) => write!(f, "horizon:{h}"),
+        }
+    }
 }
 
 /// Full specification of one run.
@@ -130,6 +244,14 @@ pub struct RunSpec {
     /// Which cycle loop to use (fast path by default; results are
     /// bit-identical either way).
     pub drive: DriveMode,
+    /// Attach a [`WindowedFairnessProbe`] splitting the run into this
+    /// many equal windows (scenario key `[report] windows = N`).
+    /// Requires a [`StopCondition::Horizon`] stop whose horizon the
+    /// window count divides evenly; `None` = no windowed measurement.
+    /// Attribution is completion-based — on a fabric it lags wire-level
+    /// service by up to two bridge crossings, so keep windows much
+    /// longer than the bridge latency (see [`crate::probes`]).
+    pub windows: Option<u32>,
 }
 
 impl RunSpec {
@@ -161,6 +283,7 @@ impl RunSpec {
             max_cycles: 50_000_000,
             record_trace: false,
             drive: DriveMode::default(),
+            windows: None,
         }
     }
 
@@ -180,17 +303,50 @@ impl RunSpec {
         match self.stop {
             StopCondition::TuaDone => {
                 if !self.loads[0].is_finite() {
-                    return Err("TuaDone requires a finite load on core 0".into());
+                    return Err(format!(
+                        "stop condition '{}' requires a finite load on core 0, got '{}'",
+                        self.stop, self.loads[0]
+                    ));
                 }
             }
             StopCondition::AllDone => {
-                if !self.loads.iter().all(CoreLoad::is_finite) {
-                    return Err("AllDone requires every load to be finite".into());
+                if let Some(infinite) = self.loads.iter().find(|l| !l.is_finite()) {
+                    return Err(format!(
+                        "stop condition '{}' requires every load to be finite, got '{infinite}'",
+                        self.stop
+                    ));
                 }
             }
             StopCondition::Horizon(h) => {
                 if h == 0 {
                     return Err("horizon must be positive".into());
+                }
+            }
+        }
+        if let Some(w) = self.windows {
+            if w == 0 {
+                return Err("windows must be positive".into());
+            }
+            match self.stop {
+                StopCondition::Horizon(h) => {
+                    if h % w as u64 != 0 {
+                        return Err(format!("windows = {w} must divide the horizon {h} evenly"));
+                    }
+                    if self.max_cycles < h {
+                        // A truncated run would report its never-reached
+                        // windows as perfectly fair.
+                        return Err(format!(
+                            "windows require max_cycles >= the horizon ({} < {h})",
+                            self.max_cycles
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "windows require a horizon stop (run length must be known \
+                         up front), got stop condition '{}'",
+                        self.stop
+                    ))
                 }
             }
         }
@@ -283,6 +439,11 @@ pub struct RunResult {
     pub max_grant_gap: Vec<Option<Cycle>>,
     /// Per-core longest back-to-back grant burst (recording runs only).
     pub max_burst: Vec<Option<u64>>,
+    /// Windowed fairness measurement (runs with [`RunSpec::windows`]
+    /// only): per-window core shares and Jain indices, streamed by the
+    /// [`WindowedFairnessProbe`]. Completion-attributed, so bit-identical
+    /// between the naive and events engines.
+    pub windows: Option<WindowedFairness>,
 }
 
 impl RunResult {
@@ -301,128 +462,6 @@ impl RunResult {
             0.0
         } else {
             self.bus_busy.iter().sum::<u64>() as f64 / self.total_cycles as f64
-        }
-    }
-}
-
-/// One core's client in the run loop.
-enum Client {
-    Core(Box<Core>),
-    Saturating(Contender),
-    Periodic(PeriodicContender),
-    Fixed(FixedRequestTask),
-    Idle,
-}
-
-impl Client {
-    fn build(
-        load: &CoreLoad,
-        id: CoreId,
-        platform: &PlatformConfig,
-        rng: &mut SimRng,
-    ) -> Result<Client, String> {
-        let maxl = platform.latency.max_latency();
-        Ok(match load {
-            CoreLoad::Profile(profile) => Client::Core(Box::new(Core::with_store_buffer(
-                id,
-                Box::new(SyntheticEembc::new(profile.clone())),
-                &platform.hierarchy,
-                platform.latency,
-                platform.store_buffer,
-                rng,
-            ))),
-            CoreLoad::Named(name) => {
-                let program = cba_workloads::by_name(name)
-                    .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
-                Client::Core(Box::new(Core::with_store_buffer(
-                    id,
-                    program,
-                    &platform.hierarchy,
-                    platform.latency,
-                    platform.store_buffer,
-                    rng,
-                )))
-            }
-            CoreLoad::Streaming { accesses } => Client::Core(Box::new(Core::with_store_buffer(
-                id,
-                Box::new(Streaming::new(*accesses)),
-                &platform.hierarchy,
-                platform.latency,
-                platform.store_buffer,
-                rng,
-            ))),
-            CoreLoad::Saturating { duration } => {
-                if *duration > maxl {
-                    return Err(format!("contender duration {duration} exceeds MaxL {maxl}"));
-                }
-                Client::Saturating(Contender::new(id, *duration))
-            }
-            CoreLoad::Periodic {
-                duration,
-                period,
-                phase,
-            } => Client::Periodic(PeriodicContender::new(id, *duration, *period, *phase)),
-            CoreLoad::FixedTask {
-                n_requests,
-                duration,
-                gap,
-            } => Client::Fixed(FixedRequestTask::new(id, *n_requests, *duration, *gap)),
-            CoreLoad::Idle => Client::Idle,
-        })
-    }
-
-    fn tick(
-        &mut self,
-        now: Cycle,
-        completed: Option<&CompletedTransaction>,
-        bus: &mut (impl RequestPort + ?Sized),
-    ) {
-        match self {
-            Client::Core(c) => c.tick(now, completed, bus),
-            Client::Saturating(c) => c.tick(now, completed, bus),
-            Client::Periodic(c) => c.tick(now, completed, bus),
-            Client::Fixed(c) => c.tick(now, completed, bus),
-            Client::Idle => {}
-        }
-    }
-
-    fn is_done(&self) -> bool {
-        match self {
-            Client::Core(c) => c.is_done(),
-            Client::Fixed(c) => c.is_done(),
-            Client::Idle => true,
-            Client::Saturating(_) | Client::Periodic(_) => false,
-        }
-    }
-
-    fn done_at(&self) -> Option<Cycle> {
-        match self {
-            Client::Core(c) => c.done_at(),
-            Client::Fixed(c) => c.done_at(),
-            _ => None,
-        }
-    }
-
-    /// The client's sleep horizon (queried after its tick): the next cycle
-    /// at which ticking it can have any effect, absent a bus completion.
-    /// `None` = must be ticked every cycle; `Cycle::MAX` = only a bus
-    /// event can wake it.
-    fn wake_at(&self) -> Option<Cycle> {
-        match self {
-            Client::Core(c) => c.wake_at(),
-            Client::Saturating(c) => c.wake_at(),
-            Client::Periodic(c) => c.wake_at(),
-            Client::Fixed(c) => c.wake_at(),
-            Client::Idle => Some(Cycle::MAX),
-        }
-    }
-
-    /// Accounts `skipped` engine-skipped cycles (only the core model keeps
-    /// per-cycle stall statistics; every other client's state is already
-    /// expressed in absolute cycles).
-    fn absorb_skipped(&mut self, skipped: u64) {
-        if let Client::Core(c) = self {
-            c.absorb_skipped(skipped);
         }
     }
 }
@@ -470,26 +509,33 @@ impl SimModel for Fabric {
     }
 }
 
-/// Executes one run of `spec` under `seed`, fully deterministically.
+/// Executes one run of `spec` under `seed`, fully deterministically,
+/// building agents through the shared
+/// [`default_registry`].
 ///
 /// # Panics
 ///
 /// Panics if the spec fails [`RunSpec::validate`] (specs are constructed
 /// programmatically; an invalid one is a harness bug, not an input error).
 pub fn run_once(spec: &RunSpec, seed: u64) -> RunResult {
+    run_once_with(spec, seed, default_registry())
+}
+
+/// [`run_once`] with an explicit [`AgentRegistry`], for callers that
+/// register custom agent kinds ([`CoreLoad::Custom`]).
+///
+/// # Panics
+///
+/// Panics if the spec fails [`RunSpec::validate`] or names an agent kind
+/// the registry cannot build.
+pub fn run_once_with(spec: &RunSpec, seed: u64, registry: &AgentRegistry) -> RunResult {
     if let Err(why) = spec.validate() {
         panic!("invalid run spec: {why}");
     }
     let rng = SimRng::seed_from(seed);
     match &spec.platform.topology {
-        None => {
-            let mut bus = build_bus(spec, &rng);
-            execute(&mut bus, spec, &rng)
-        }
-        Some(topo) => {
-            let mut fabric = build_fabric(spec, topo, &rng);
-            execute(&mut fabric, spec, &rng)
-        }
+        None => execute(build_bus(spec, &rng), spec, &rng, registry),
+        Some(topo) => execute(build_fabric(spec, topo, &rng), spec, &rng, registry),
     }
 }
 
@@ -593,96 +639,75 @@ fn build_fabric(spec: &RunSpec, topo: &FabricTopology, rng: &SimRng) -> Fabric {
     fabric
 }
 
-/// Builds the clients, drives `bus` to the stop condition and extracts the
-/// [`RunResult`] — shared verbatim by the flat-bus and fabric paths, so
-/// both run the exact same engine and accounting.
-fn execute<M: SimModel>(bus: &mut M, spec: &RunSpec, rng: &SimRng) -> RunResult {
+/// Builds the agents through the registry, assembles a
+/// [`Simulation`] over `bus` and extracts the [`RunResult`] — shared
+/// verbatim by the flat-bus and fabric paths, so both run the exact same
+/// engine and accounting.
+fn execute<M: SimModel + 'static>(
+    bus: M,
+    spec: &RunSpec,
+    rng: &SimRng,
+    registry: &AgentRegistry,
+) -> RunResult {
     let platform = &spec.platform;
-    let n = platform.n_cores;
-
-    // Clients.
-    let mut clients: Vec<Client> = spec
+    let agents: Vec<sim_core::BoxedAgent<M>> = spec
         .loads
         .iter()
         .enumerate()
         .map(|(i, load)| {
-            let mut client_rng = rng.fork(0xC0 + i as u64);
-            Client::build(load, CoreId::from_index(i), platform, &mut client_rng)
-                .expect("validated loads")
+            let mut agent_rng = rng.fork(0xC0 + i as u64);
+            let agent = registry
+                .build(load, CoreId::from_index(i), platform, &mut agent_rng)
+                .unwrap_or_else(|why| panic!("cannot build agent '{load}' for core {i}: {why}"));
+            Box::new(PortAgent::new(agent)) as sim_core::BoxedAgent<M>
         })
         .collect();
-
-    // Cycle loop: the workspace-wide engine drives the bus; this closure
-    // only ticks the clients, evaluates the stop condition, and (on the
-    // fast path) reports how long every client can sleep so the engine
-    // can jump to the next event.
-    let events = spec.drive == DriveMode::Events;
-    let mut prev: Option<Cycle> = None;
-    let mut cycle_fn =
-        |bus: &mut M, now: Cycle, completed: Option<&CompletedTransaction>| -> Control {
-            if let Some(prev) = prev {
-                let skipped = now - prev - 1;
-                if skipped > 0 {
-                    for client in clients.iter_mut() {
-                        client.absorb_skipped(skipped);
-                    }
-                }
-            }
-            prev = Some(now);
-            for client in clients.iter_mut() {
-                client.tick(now, completed, bus);
-            }
-            let stop = match spec.stop {
-                StopCondition::TuaDone => clients[0].is_done(),
-                StopCondition::AllDone => clients.iter().all(Client::is_done),
-                StopCondition::Horizon(h) => now + 1 >= h,
+    let builder = Simulation::builder()
+        .model(bus)
+        .agents(agents)
+        .stop(match spec.stop {
+            StopCondition::TuaDone => StopWhen::AgentDone(0),
+            StopCondition::AllDone => StopWhen::AllAgentsDone,
+            StopCondition::Horizon(h) => StopWhen::Horizon(h),
+        })
+        .engine(match spec.drive {
+            DriveMode::Events => Engine::Events,
+            DriveMode::Naive => Engine::Naive,
+        })
+        .max_cycles(spec.max_cycles);
+    match spec.windows {
+        None => {
+            let sim = builder.run();
+            extract(&sim, spec, None)
+        }
+        Some(w) => {
+            let StopCondition::Horizon(h) = spec.stop else {
+                unreachable!("validated: windows require a horizon stop");
             };
-            if stop {
-                return Control::Stop;
-            }
-            if !events {
-                return Control::Continue;
-            }
-            let mut until = Cycle::MAX;
-            for client in clients.iter() {
-                match client.wake_at() {
-                    // Someone needs every cycle: no sleeping this cycle.
-                    None => return Control::Continue,
-                    Some(t) => until = until.min(t),
-                }
-            }
-            if let StopCondition::Horizon(h) = spec.stop {
-                // The stop fires from the tick at cycle h - 1; never skip it.
-                until = until.min(h - 1);
-            }
-            Control::Sleep(until)
-        };
-    let outcome = if events {
-        drive_events(bus, spec.max_cycles, &mut cycle_fn)
-    } else {
-        drive(bus, spec.max_cycles, &mut cycle_fn)
-    };
-    let now = outcome.cycles;
-    let finished = outcome.stopped;
-    // A run that hits max_cycles mid-skip ends without another cycle_fn
-    // invocation; absorb the tail so client stall/busy statistics stay
-    // bit-identical to the per-cycle loop (which ticked every cycle).
-    if let Some(prev) = prev {
-        let tail = (now - 1).saturating_sub(prev);
-        if tail > 0 {
-            for client in clients.iter_mut() {
-                client.absorb_skipped(tail);
-            }
+            let window_len = h / w as Cycle;
+            let probe = WindowedFairnessProbe::new(platform.n_cores, window_len, w as usize);
+            let sim = builder.observe(probe).run();
+            let windows = sim.probe().snapshot();
+            extract(&sim, spec, Some(windows))
         }
     }
+}
 
+/// Pulls the [`RunResult`] out of a finished [`Simulation`].
+fn extract<M: SimModel, P: Probe<CompletedTransaction>>(
+    sim: &Simulation<M, P>,
+    spec: &RunSpec,
+    windows: Option<WindowedFairness>,
+) -> RunResult {
+    let outcome = sim.outcome().expect("simulation ran");
+    let bus = sim.model();
     let trace = bus.trace();
-    let ids: Vec<CoreId> = (0..n).map(CoreId::from_index).collect();
+    let ids: Vec<CoreId> = (0..spec.platform.n_cores).map(CoreId::from_index).collect();
     let (tua_mean_wait, tua_max_wait) = bus.tua_wait();
     RunResult {
-        tua_cycles: clients[0].done_at(),
-        finished,
-        total_cycles: now,
+        tua_cycles: sim.agent(0).done_at(),
+        finished: outcome.stopped,
+        total_cycles: outcome.cycles,
         bus_slots: ids.iter().map(|&c| trace.slots(c)).collect(),
         bus_busy: ids.iter().map(|&c| trace.busy_cycles(c)).collect(),
         bus_idle: bus.model_idle_cycles(),
@@ -690,6 +715,7 @@ fn execute<M: SimModel>(bus: &mut M, spec: &RunSpec, rng: &SimRng) -> RunResult 
         tua_max_wait,
         max_grant_gap: ids.iter().map(|&c| trace.max_grant_gap(c)).collect(),
         max_burst: ids.iter().map(|&c| trace.max_burst_len(c)).collect(),
+        windows,
     }
 }
 

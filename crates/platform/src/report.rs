@@ -61,6 +61,12 @@ pub struct CellReport {
     /// Jain fairness index over the cluster shares (1 = perfectly even);
     /// fabric cells only.
     pub cluster_fairness: Option<f64>,
+    /// Mean (over runs) per-window Jain index series; cells with
+    /// `[report] windows = N` only.
+    pub window_jain: Option<Vec<f64>>,
+    /// Mean (over runs) per-window per-core share matrix
+    /// (`[window][core]`); windowed cells only.
+    pub window_shares: Option<Vec<Vec<f64>>>,
 }
 
 impl CellReport {
@@ -70,6 +76,21 @@ impl CellReport {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Mean of the per-window Jain indices (windowed cells only).
+    pub fn window_jain_mean(&self) -> Option<f64> {
+        let jain = self.window_jain.as_ref()?;
+        if jain.is_empty() {
+            return None;
+        }
+        Some(jain.iter().sum::<f64>() / jain.len() as f64)
+    }
+
+    /// Worst (smallest) per-window Jain index (windowed cells only).
+    pub fn window_jain_min(&self) -> Option<f64> {
+        let jain = self.window_jain.as_ref()?;
+        jain.iter().copied().reduce(f64::min)
     }
 
     /// Aggregates a finished campaign into a report cell. The `spec`
@@ -145,6 +166,34 @@ impl CellReport {
                 (Some(shares), Some(jain))
             }
         };
+        let (window_jain, window_shares) = match spec.windows {
+            None => (None, None),
+            Some(w) => {
+                let n_windows = w as usize;
+                let n_cores = spec.platform.n_cores;
+                let mut jain = vec![0.0f64; n_windows];
+                let mut shares = vec![vec![0.0f64; n_cores]; n_windows];
+                let mut counted = 0usize;
+                for r in result.results() {
+                    let Some(wf) = &r.windows else { continue };
+                    counted += 1;
+                    for (wi, j) in wf.jain.iter().enumerate() {
+                        jain[wi] += j;
+                    }
+                    for (wi, row) in wf.shares.iter().enumerate() {
+                        for (ci, s) in row.iter().enumerate() {
+                            shares[wi][ci] += s;
+                        }
+                    }
+                }
+                let denom = (counted as f64).max(1.0);
+                jain.iter_mut().for_each(|j| *j /= denom);
+                shares
+                    .iter_mut()
+                    .for_each(|row| row.iter_mut().for_each(|s| *s /= denom));
+                (Some(jain), Some(shares))
+            }
+        };
         CellReport {
             labels,
             seed,
@@ -162,6 +211,8 @@ impl CellReport {
             contender_max_gap,
             cluster_shares,
             cluster_fairness,
+            window_jain,
+            window_shares,
         }
     }
 }
@@ -362,6 +413,29 @@ impl ScenarioReport {
                 if let Some(f) = c.cluster_fairness {
                     pairs.push(("cluster_fairness".into(), Json::Num(f)));
                 }
+                if let Some(jain) = &c.window_jain {
+                    pairs.push((
+                        "window_jain".into(),
+                        Json::Arr(jain.iter().map(|&j| Json::Num(j)).collect()),
+                    ));
+                    if let Some(mean) = c.window_jain_mean() {
+                        pairs.push(("window_jain_mean".into(), Json::Num(mean)));
+                    }
+                    if let Some(min) = c.window_jain_min() {
+                        pairs.push(("window_jain_min".into(), Json::Num(min)));
+                    }
+                }
+                if let Some(shares) = &c.window_shares {
+                    pairs.push((
+                        "window_shares".into(),
+                        Json::Arr(
+                            shares
+                                .iter()
+                                .map(|row| Json::Arr(row.iter().map(|&s| Json::Num(s)).collect()))
+                                .collect(),
+                        ),
+                    ));
+                }
                 Json::Obj(pairs)
             })
             .collect();
@@ -416,6 +490,10 @@ impl ScenarioReport {
         if clusters > 0 {
             header.push("cluster_fairness".into());
         }
+        let windowed = self.cells.iter().any(|c| c.window_jain.is_some());
+        if windowed {
+            header.extend(["window_jain_mean", "window_jain_min"].map(String::from));
+        }
         out.push_str(&header.join(","));
         out.push('\n');
         for c in &self.cells {
@@ -443,6 +521,10 @@ impl ScenarioReport {
                     row.push(shares.get(k).copied().map(fmt_number).unwrap_or_default());
                 }
                 row.push(c.cluster_fairness.map(fmt_number).unwrap_or_default());
+            }
+            if windowed {
+                row.push(c.window_jain_mean().map(fmt_number).unwrap_or_default());
+                row.push(c.window_jain_min().map(fmt_number).unwrap_or_default());
             }
             out.push_str(&row.join(","));
             out.push('\n');
@@ -487,6 +569,9 @@ impl ScenarioReport {
             if let Some(shares) = &c.cluster_shares {
                 let rendered: Vec<String> = shares.iter().map(|s| format!("{s:.3}")).collect();
                 let _ = write!(out, "  shares {}", rendered.join("/"));
+            }
+            if let (Some(mean), Some(min)) = (c.window_jain_mean(), c.window_jain_min()) {
+                let _ = write!(out, "  winJ {mean:.3}/{min:.3}");
             }
             if c.unfinished > 0 {
                 let _ = write!(out, "  [{} unfinished]", c.unfinished);
@@ -637,6 +722,58 @@ clusters = 2,4
         let col = header.iter().position(|&h| h == "cluster3_share").unwrap();
         assert!(row2[col].is_empty(), "2-cluster cell pads: {row2:?}");
         assert!(!row4[col].is_empty(), "4-cluster cell fills: {row4:?}");
+    }
+
+    #[test]
+    fn windowed_cells_expose_jain_series_in_every_export() {
+        let text = "\
+[campaign]
+name = windowed
+runs = 2
+seed = 9
+[platform]
+policy = rr
+[tua]
+load = sat:5
+[contenders]
+fill = sat:56
+wcet = off
+stop = horizon:20000
+[sweep]
+cba = none,homog
+[report]
+windows = 4
+";
+        let report = run_scenario(&ScenarioDef::parse(text).unwrap()).unwrap();
+        for cell in &report.cells {
+            let jain = cell.window_jain.as_ref().expect("windowed cell");
+            assert_eq!(jain.len(), 4);
+            let shares = cell.window_shares.as_ref().expect("windowed cell");
+            assert_eq!(shares.len(), 4);
+            assert_eq!(shares[0].len(), 4, "one share per core");
+            assert!(cell.window_jain_mean().unwrap() > 0.0);
+            assert!(cell.window_jain_min().unwrap() <= cell.window_jain_mean().unwrap());
+        }
+        // The credit filter improves windowed fairness for this 5-vs-56
+        // mix (the paper's core claim, now visible per window).
+        let none = report.cells[0].window_jain_mean().unwrap();
+        let homog = report.cells[1].window_jain_mean().unwrap();
+        assert!(
+            homog > none,
+            "CBA must beat no-filter per-window: {homog} vs {none}"
+        );
+
+        let json = report.to_json();
+        assert!(json.contains("\"window_jain\""), "{json}");
+        assert!(json.contains("\"window_shares\""), "{json}");
+        let csv = report.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(
+            header.ends_with("window_jain_mean,window_jain_min"),
+            "{header}"
+        );
+        let table = report.render_table();
+        assert!(table.contains("winJ "), "{table}");
     }
 
     #[test]

@@ -282,7 +282,8 @@ pub struct Axis {
     pub values: Vec<AxisValue>,
 }
 
-/// Report shaping: normalization baseline and percentiles.
+/// Report shaping: normalization baseline, percentiles, and windowed
+/// fairness.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportSpec {
     /// Axis selector of the normalization baseline, e.g.
@@ -292,6 +293,11 @@ pub struct ReportSpec {
     pub baseline: Vec<(String, String)>,
     /// Report quantiles, as fractions in `[0, 1]`.
     pub percentiles: Vec<f64>,
+    /// Attach a windowed-fairness probe splitting each run's horizon
+    /// into this many equal windows (`windows = N`; requires a
+    /// `horizon:` stop it divides evenly). Per-window Jain indices and
+    /// core shares surface as extra report columns.
+    pub windows: Option<u32>,
 }
 
 impl Default for ReportSpec {
@@ -299,6 +305,7 @@ impl Default for ReportSpec {
         ReportSpec {
             baseline: Vec::new(),
             percentiles: vec![0.50, 0.95, 0.99],
+            windows: None,
         }
     }
 }
@@ -794,10 +801,19 @@ impl ScenarioDef {
                 }
                 self.report.percentiles = qs;
             }
+            "windows" => {
+                let n: u32 = parse_num(value, "windows", lineno)?;
+                if n == 0 {
+                    return Err(ScenarioError::at(lineno, "windows must be positive"));
+                }
+                self.report.windows = Some(n);
+            }
             other => {
                 return Err(ScenarioError::at(
                     lineno,
-                    format!("unknown [report] key '{other}' (expected baseline, percentiles)"),
+                    format!(
+                        "unknown [report] key '{other}' (expected baseline, percentiles, windows)"
+                    ),
                 ))
             }
         }
@@ -899,6 +915,9 @@ impl ScenarioDef {
             }
         }
         let _ = writeln!(out, "\n[report]");
+        if let Some(w) = self.report.windows {
+            let _ = writeln!(out, "windows = {w}");
+        }
         if !self.report.baseline.is_empty() {
             let pairs: Vec<String> = self
                 .report
@@ -986,10 +1005,18 @@ impl ScenarioDef {
                     })?;
                 labels.push((axis.key.clone(), label));
             }
-            let spec = template.build().map_err(|e| {
+            let mut spec = template.build().map_err(|e| {
                 let cell: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 ScenarioError::new(format!("cell [{}]: {e}", cell.join(", ")))
             })?;
+            if self.report.windows.is_some() {
+                spec.windows = self.report.windows;
+                spec.validate().map_err(|e| {
+                    let cell: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    ScenarioError::new(format!("cell [{}]: [report] windows: {e}", cell.join(", ")))
+                })?;
+            }
             cells.push(Cell {
                 seed: self.cell_seed(&indices),
                 labels,
@@ -1129,6 +1156,8 @@ pub fn parse_cba_spec(
 /// per:DUR:PERIOD:PHASE   periodic contender
 /// stream:ACCESSES        streaming loads
 /// idle                   nothing
+/// agent:KIND:ARGS...     a user-registered agent kind (resolved against
+///                        the AgentRegistry at run-build time)
 /// ```
 pub fn parse_load_spec(s: &str) -> Result<CoreLoad, String> {
     let parts: Vec<&str> = s.split(':').collect();
@@ -1139,6 +1168,10 @@ pub fn parse_load_spec(s: &str) -> Result<CoreLoad, String> {
     match parts.as_slice() {
         ["idle"] => Ok(CoreLoad::Idle),
         ["bench", name] => Ok(CoreLoad::named(name)),
+        ["agent", kind, args @ ..] if !kind.is_empty() => Ok(CoreLoad::Custom {
+            kind: kind.to_string(),
+            args: args.iter().map(|a| a.to_string()).collect(),
+        }),
         ["fixed", r, d, g] => Ok(CoreLoad::FixedTask {
             n_requests: num(r)?,
             duration: num(d)? as u32,
@@ -1155,7 +1188,7 @@ pub fn parse_load_spec(s: &str) -> Result<CoreLoad, String> {
         ["stream", a] => Ok(CoreLoad::Streaming { accesses: num(a)? }),
         _ => Err(format!(
             "unknown load spec '{s}' (expected bench:NAME, fixed:R:D:G, sat:D, per:D:P:PH, \
-             stream:A, idle)"
+             stream:A, idle, agent:KIND:ARGS...)"
         )),
     }
 }
@@ -1959,5 +1992,81 @@ stop = horizon:1000
         assert!(parse_cba_spec("hcba", 8, 56).is_err(), "hcba is 4-core");
         assert!(parse_policy("best").is_err());
         assert!(parse_stop("never").is_err());
+    }
+
+    #[test]
+    fn agent_load_spec_parses_to_custom_kinds() {
+        match parse_load_spec("agent:burst:3:5").unwrap() {
+            CoreLoad::Custom { kind, args } => {
+                assert_eq!(kind, "burst");
+                assert_eq!(args, vec!["3".to_string(), "5".to_string()]);
+            }
+            other => panic!("expected custom load, got {other:?}"),
+        }
+        match parse_load_spec("agent:noop").unwrap() {
+            CoreLoad::Custom { kind, args } => {
+                assert_eq!(kind, "noop");
+                assert!(args.is_empty());
+            }
+            other => panic!("expected custom load, got {other:?}"),
+        }
+        assert!(parse_load_spec("agent:").is_err(), "empty kind rejected");
+        // Display renders back to the spec syntax.
+        assert_eq!(
+            parse_load_spec("agent:burst:3:5").unwrap().to_string(),
+            "agent:burst:3:5"
+        );
+        assert_eq!(parse_load_spec("idle").unwrap().to_string(), "idle");
+        assert_eq!(
+            parse_load_spec("per:28:90:0").unwrap().to_string(),
+            "per:28:90:0"
+        );
+    }
+
+    const WINDOWED: &str = "\
+[campaign]
+runs = 1
+[tua]
+load = sat:5
+[contenders]
+fill = sat:28
+wcet = off
+stop = horizon:8000
+[report]
+windows = 8
+";
+
+    #[test]
+    fn report_windows_key_parses_renders_and_reaches_the_spec() {
+        let def = ScenarioDef::parse(WINDOWED).unwrap();
+        assert_eq!(def.report.windows, Some(8));
+        let cells = def.expand().unwrap();
+        assert_eq!(cells[0].spec.windows, Some(8));
+
+        let rendered = def.render();
+        assert!(rendered.contains("windows = 8"), "{rendered}");
+        let reparsed = ScenarioDef::parse(&rendered).unwrap();
+        assert_eq!(def, reparsed, "windows key must round-trip");
+    }
+
+    #[test]
+    fn report_windows_require_a_dividing_horizon() {
+        let finite_tua = WINDOWED
+            .replace("load = sat:5", "load = fixed:10:5:0")
+            .replace("stop = horizon:8000\n", "");
+        let err = ScenarioDef::parse(&finite_tua)
+            .unwrap()
+            .expand()
+            .unwrap_err();
+        assert!(err.msg.contains("require a horizon stop"), "{err}");
+
+        let err = ScenarioDef::parse(&WINDOWED.replace("horizon:8000", "horizon:8001"))
+            .unwrap()
+            .expand()
+            .unwrap_err();
+        assert!(err.msg.contains("divide the horizon"), "{err}");
+
+        let err = ScenarioDef::parse(&WINDOWED.replace("windows = 8", "windows = 0")).unwrap_err();
+        assert!(err.msg.contains("windows must be positive"), "{err}");
     }
 }

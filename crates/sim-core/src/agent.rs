@@ -1,0 +1,177 @@
+//! The open client side of the simulator: the [`SimAgent`] trait.
+//!
+//! PR 1 unified the *bus* side behind [`BusModel`](crate::BusModel); this
+//! module mirrors that on the *client* side. A `SimAgent` is anything that
+//! generates traffic against a request port `P` — a cycle-accurate core
+//! model, a saturating contender, a periodic co-runner, a fixed-request
+//! task, or a downstream user's custom workload — and every harness
+//! (`Simulation`, the platform's `run_once`, the benches) drives agents
+//! only through this trait, so new workload shapes plug in without
+//! touching any harness code.
+//!
+//! The trait is generic over the port type `P` (kept `?Sized` so trait
+//! objects like `dyn RequestPort` work) and the completion report type
+//! `C`, because the kernel crate does not know the concrete bus types;
+//! the bus workspace instantiates `C` with its completion report and `P`
+//! with its client-side request port.
+//!
+//! # Contract
+//!
+//! An agent is a sequential state machine driven once per *executed*
+//! cycle, between the model's `begin_cycle` and `end_cycle`:
+//!
+//! 1. [`tick`](SimAgent::tick) receives the cycle number, the cycle's
+//!    completion report (if any) and the request port, may post traffic,
+//!    and returns a [`Control`] verdict;
+//! 2. [`wake_at`](SimAgent::wake_at), queried after the tick, bounds the
+//!    next cycle at which ticking the agent can have any effect (absent a
+//!    completion addressed to it) — the event-horizon engine skips the
+//!    cycles in between;
+//! 3. [`absorb_skipped`](SimAgent::absorb_skipped) replays per-cycle
+//!    accounting for cycles the engine skipped, so statistics stay
+//!    bit-identical to per-cycle execution;
+//! 4. [`reset`](SimAgent::reset) must restore the agent to a
+//!    fresh-construction state (the workspace's conformance suite asserts
+//!    `reset` ≡ fresh construction for every shipped agent).
+
+use crate::engine::Control;
+use crate::rng::SimRng;
+use crate::Cycle;
+
+/// Snapshot of an agent's execution statistics, uniform across agent
+/// kinds so harnesses can report on heterogeneous mixes.
+///
+/// Agents fill the fields they track and leave the rest at zero/`None`
+/// (e.g. only the full core model accounts stall cycles); construct with
+/// `AgentStats { ..Default::default() }` and set what you have.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Bus transactions completed (grants absorbed) so far.
+    pub completed: u64,
+    /// Cycles spent on useful (non-stalled) work, if tracked.
+    pub busy_cycles: u64,
+    /// Cycles stalled waiting on the interconnect, if tracked.
+    pub bus_stall_cycles: u64,
+    /// Cycles stalled on a full store buffer, if tracked.
+    pub store_stall_cycles: u64,
+    /// Completion cycle, once the agent finished.
+    pub done_at: Option<Cycle>,
+}
+
+/// One traffic-generating client of the simulated interconnect.
+///
+/// `P` is the request port the agent posts through (e.g. the bus
+/// workspace's `RequestPort` trait object, or a concrete bus model); `C`
+/// is the completion report delivered each cycle. See the [module
+/// documentation](self) for the full contract and `sim_core::sim` for
+/// the harness that drives agents.
+pub trait SimAgent<P: ?Sized, C = ()> {
+    /// Advances the agent by one cycle. `completed` is the model's
+    /// completion report for this cycle (agents must ignore completions
+    /// addressed to other agents). The returned [`Control`] is the
+    /// agent's verdict for the *engine*: [`Control::Continue`] to be
+    /// ticked every cycle, [`Control::Sleep`]`(t)` when nothing can
+    /// happen before cycle `t` (mirroring [`SimAgent::wake_at`]), or
+    /// [`Control::Stop`] to request that the whole simulation stop after
+    /// this cycle (no shipped agent does; the hook exists for
+    /// user-defined measurement agents).
+    fn tick(&mut self, now: Cycle, completed: Option<&C>, port: &mut P) -> Control;
+
+    /// The agent's sleep horizon, queried after its tick: the next cycle
+    /// at which ticking it can have any effect, absent a completion
+    /// addressed to it. `None` = must be ticked every cycle;
+    /// `Some(Cycle::MAX)` = only a completion can wake it.
+    fn wake_at(&self) -> Option<Cycle> {
+        None
+    }
+
+    /// Whether the agent's workload has finished. Infinite agents
+    /// (saturating/periodic contenders) return `false` forever.
+    fn is_done(&self) -> bool;
+
+    /// The cycle at which the workload finished, once done.
+    fn done_at(&self) -> Option<Cycle> {
+        None
+    }
+
+    /// Accounts `skipped` engine-skipped cycles (see
+    /// [`SimAgent::wake_at`]): statistics must advance exactly as that
+    /// many unchanged ticks would have advanced them. Agents whose state
+    /// is already expressed in absolute cycles need nothing here.
+    fn absorb_skipped(&mut self, skipped: u64) {
+        let _ = skipped;
+    }
+
+    /// Whether the agent is **inert**: permanently done, with `tick` and
+    /// `absorb_skipped` guaranteed no-ops forever. Harnesses may drop
+    /// inert agents from their per-cycle loops entirely (the
+    /// [`Simulation`](crate::sim::Simulation) facade does), so only
+    /// return `true` when the agent can never act again — [`Idle`] is
+    /// the canonical case. Returning `true` while not done breaks stop
+    /// conditions; the default is `false`.
+    fn is_inert(&self) -> bool {
+        false
+    }
+
+    /// Restores the agent to a fresh-construction state for a new run.
+    /// Agents with internal randomness must re-fork their streams from
+    /// `rng` exactly as their constructor did; deterministic agents
+    /// ignore it.
+    fn reset(&mut self, rng: &mut SimRng);
+
+    /// A uniform snapshot of the agent's execution statistics.
+    fn stats(&self) -> AgentStats {
+        AgentStats::default()
+    }
+}
+
+/// The trivial agent: never posts, is always done, sleeps forever.
+///
+/// Stands in for an unloaded core so heterogeneous mixes can leave slots
+/// empty without special-casing harness code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Idle;
+
+impl Idle {
+    /// Creates the idle agent.
+    pub fn new() -> Self {
+        Idle
+    }
+}
+
+impl<P: ?Sized, C> SimAgent<P, C> for Idle {
+    fn tick(&mut self, _now: Cycle, _completed: Option<&C>, _port: &mut P) -> Control {
+        Control::Sleep(Cycle::MAX)
+    }
+
+    fn wake_at(&self) -> Option<Cycle> {
+        Some(Cycle::MAX)
+    }
+
+    fn is_done(&self) -> bool {
+        true
+    }
+
+    fn is_inert(&self) -> bool {
+        true
+    }
+
+    fn reset(&mut self, _rng: &mut SimRng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_agent_is_inert() {
+        let mut idle = Idle::new();
+        let mut port = ();
+        let verdict = SimAgent::<(), u32>::tick(&mut idle, 0, None, &mut port);
+        assert_eq!(verdict, Control::Sleep(Cycle::MAX));
+        assert!(SimAgent::<(), u32>::is_done(&idle));
+        assert_eq!(SimAgent::<(), u32>::wake_at(&idle), Some(Cycle::MAX));
+        assert_eq!(SimAgent::<(), u32>::done_at(&idle), None);
+        assert_eq!(SimAgent::<(), u32>::stats(&idle), AgentStats::default());
+    }
+}

@@ -202,6 +202,20 @@ pub trait BusModel {
     fn advance(&mut self, from: Cycle, to: Cycle) {
         let _ = (from, to);
     }
+
+    /// Drains buffered observer events (see
+    /// [`ModelEvent`](crate::probe::ModelEvent)) into `sink`, in
+    /// occurrence order — internal state changes the protocol's return
+    /// values cannot surface, such as credit-eligibility flips.
+    ///
+    /// Called by the [`Simulation`](crate::sim::Simulation) loop after
+    /// each executed cycle **only when an active probe is attached**; the
+    /// default no-op means models pay nothing unless they opt into event
+    /// recording (e.g. the bus workspace's flip watcher, which is off
+    /// until explicitly enabled).
+    fn drain_events(&mut self, sink: &mut dyn FnMut(crate::probe::ModelEvent)) {
+        let _ = sink;
+    }
 }
 
 /// Per-cycle verdict returned by the [`drive`] / [`drive_events`]

@@ -2,14 +2,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agent;
 pub mod engine;
 pub mod export;
 pub mod lfsr;
+pub mod probe;
 pub mod rng;
+pub mod sim;
 pub mod stats;
 pub mod trace;
 
+pub use agent::{AgentStats, SimAgent};
 pub use engine::{drive, drive_events, BusModel, Control, DriveOutcome, TickOutcome};
+pub use probe::{ModelEvent, NoProbe, Probe};
+pub use sim::{BoxedAgent, Engine, Simulation, SimulationBuilder, StopWhen};
 
 use std::fmt;
 

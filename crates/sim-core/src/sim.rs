@@ -1,0 +1,676 @@
+//! The [`Simulation`] facade: model + agents + stop condition + engine +
+//! probe, runnable as a library call.
+//!
+//! Before this facade, driving a simulation meant hand-rolling the
+//! [`drive`](crate::drive) closure: tick every client, evaluate the stop
+//! condition, aggregate sleep horizons, absorb skipped cycles. The
+//! builder packages that loop once, for any [`BusModel`] and any set of
+//! [`SimAgent`]s:
+//!
+//! ```
+//! use sim_core::agent::{Idle, SimAgent};
+//! use sim_core::sim::{Engine, Simulation, StopWhen};
+//! use sim_core::{BusModel, Control, CoreId, Cycle};
+//! # use sim_core::trace::GrantTrace;
+//! #
+//! # #[derive(Debug)]
+//! # struct ToyBus { trace: GrantTrace, queue: u64, busy_until: Option<Cycle> }
+//! # impl ToyBus { fn new() -> Self { ToyBus { trace: GrantTrace::counting(1), queue: 0, busy_until: None } } }
+//! # impl BusModel for ToyBus {
+//! #     type Request = u32;
+//! #     type Completion = ();
+//! #     type Error = ();
+//! #     fn begin_cycle(&mut self, now: Cycle) -> Option<()> {
+//! #         if self.busy_until == Some(now) { self.busy_until = None; return Some(()); }
+//! #         None
+//! #     }
+//! #     fn post(&mut self, dur: u32) -> Result<(), ()> { self.queue += dur as u64; Ok(()) }
+//! #     fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+//! #         if self.busy_until.is_none() && self.queue > 0 {
+//! #             let d = self.queue.min(4); self.queue -= d;
+//! #             self.busy_until = Some(now + d);
+//! #             self.trace.record(now, CoreId::from_index(0), d as u32);
+//! #             return Some(CoreId::from_index(0));
+//! #         }
+//! #         None
+//! #     }
+//! #     fn owner(&self) -> Option<CoreId> { self.busy_until.map(|_| CoreId::from_index(0)) }
+//! #     fn trace(&self) -> &GrantTrace { &self.trace }
+//! # }
+//!
+//! /// An agent that posts one 4-cycle request every 10 cycles, 5 times.
+//! struct Pulser { left: u32, next: Cycle, done_at: Option<Cycle> }
+//!
+//! impl SimAgent<ToyBus> for Pulser {
+//!     fn tick(&mut self, now: Cycle, _done: Option<&()>, bus: &mut ToyBus) -> Control {
+//!         if self.left > 0 && now >= self.next {
+//!             bus.post(4).unwrap();
+//!             self.left -= 1;
+//!             self.next += 10;
+//!         }
+//!         if self.left == 0 && self.done_at.is_none() {
+//!             self.done_at = Some(now);
+//!         }
+//!         Control::Sleep(self.next)
+//!     }
+//!     fn wake_at(&self) -> Option<Cycle> { Some(self.next) }
+//!     fn is_done(&self) -> bool { self.left == 0 }
+//!     fn done_at(&self) -> Option<Cycle> { self.done_at }
+//!     fn reset(&mut self, _rng: &mut sim_core::rng::SimRng) {
+//!         *self = Pulser { left: 5, next: 0, done_at: None };
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::builder()
+//!     .model(ToyBus::new())
+//!     .agent(Pulser { left: 5, next: 0, done_at: None })
+//!     .agent(Idle::new())
+//!     .stop(StopWhen::AllAgentsDone)
+//!     .engine(Engine::Events)
+//!     .max_cycles(1_000)
+//!     .build();
+//! let outcome = sim.run();
+//! assert!(outcome.stopped, "all five pulses posted");
+//! assert_eq!(sim.model().trace().total_slots(), 5);
+//! ```
+//!
+//! The loop reproduces [`drive`](crate::drive) /
+//! [`drive_events`](crate::drive_events) **bit for bit** (same cycles
+//! executed, same skip decisions, same stop cycle) while additionally
+//! feeding a [`Probe`]; the workspace's identity tests pin this through
+//! the platform layer.
+
+use crate::agent::SimAgent;
+use crate::engine::{BusModel, Control, DriveOutcome};
+use crate::probe::{ModelEvent, NoProbe, Probe};
+use crate::Cycle;
+
+/// A boxed agent driving model `M` (the common currency of
+/// [`SimulationBuilder::agent`]).
+pub type BoxedAgent<M> = Box<dyn SimAgent<M, <M as BusModel>::Completion>>;
+
+/// When a [`Simulation`] run stops (besides the `max_cycles` safety
+/// limit, which always applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopWhen {
+    /// Stop when the agent at this index reports
+    /// [`is_done`](SimAgent::is_done) (the platform's "TuA done", with
+    /// index 0).
+    AgentDone(usize),
+    /// Stop when every agent reports done.
+    AllAgentsDone,
+    /// Run exactly this many cycles (for share/fairness measurements).
+    Horizon(Cycle),
+}
+
+/// Which cycle loop executes the run. Both produce bit-identical
+/// results; see [`drive`](crate::drive) and
+/// [`drive_events`](crate::drive_events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The event-horizon fast path: skips provably uneventful cycle
+    /// ranges. The default.
+    #[default]
+    Events,
+    /// The per-cycle reference loop: visits every cycle.
+    Naive,
+}
+
+/// A fully assembled simulation: one model, its agents, a stop
+/// condition, an engine and a probe. Built by [`Simulation::builder`];
+/// see the [module documentation](self) for an end-to-end example.
+pub struct Simulation<M: BusModel, P: Probe<M::Completion> = NoProbe> {
+    model: M,
+    agents: Vec<BoxedAgent<M>>,
+    stop: StopWhen,
+    engine: Engine,
+    max_cycles: Cycle,
+    probe: P,
+    outcome: Option<DriveOutcome>,
+}
+
+impl<M: BusModel> Simulation<M, NoProbe> {
+    /// Starts assembling a simulation. The model type is inferred from
+    /// the [`model`](SimulationBuilder::model) call.
+    pub fn builder() -> SimulationBuilder<M, NoProbe> {
+        SimulationBuilder {
+            model: None,
+            agents: Vec::new(),
+            stop: StopWhen::AllAgentsDone,
+            engine: Engine::default(),
+            max_cycles: Cycle::MAX,
+            probe: NoProbe,
+        }
+    }
+}
+
+impl<M: BusModel, P: Probe<M::Completion>> Simulation<M, P> {
+    /// Drives the simulation to its stop condition (or the `max_cycles`
+    /// safety limit) and returns the outcome.
+    ///
+    /// The loop is bit-identical to [`drive`](crate::drive) (naive
+    /// engine) / [`drive_events`](crate::drive_events) (events engine)
+    /// wrapped around the canonical client-ticking closure: completions
+    /// are handed to every agent, skipped stretches are absorbed, agents'
+    /// sleep horizons bound the fast path's jumps.
+    ///
+    /// Running consumes the workload: call it once per assembled run
+    /// (reset the model and agents before reusing the same `Simulation`).
+    pub fn run(&mut self) -> DriveOutcome {
+        let events = self.engine == Engine::Events;
+        let model = &mut self.model;
+        let agents = &mut self.agents;
+        let probe = &mut self.probe;
+        let stop_when = self.stop;
+        let max_cycles = self.max_cycles;
+
+        // Inert agents (permanently-done no-ops, e.g. idle cores) are
+        // dropped from the per-cycle loop up front: their tick/absorb
+        // are no-ops and their sleep horizon is unbounded by contract.
+        let active: Vec<usize> = (0..agents.len())
+            .filter(|&i| !agents[i].is_inert())
+            .collect();
+        let mut now: Cycle = 0;
+        let mut prev: Option<Cycle> = None;
+        let mut stopped = false;
+        while now < max_cycles {
+            let completed = model.begin_cycle(now);
+            if P::ACTIVE {
+                if let Some(c) = &completed {
+                    probe.on_completion(now, c);
+                }
+            }
+            // Replay per-cycle accounting for the cycles the fast path
+            // skipped since the last executed cycle.
+            if let Some(prev) = prev {
+                let skipped = now - prev - 1;
+                if skipped > 0 {
+                    for &i in &active {
+                        agents[i].absorb_skipped(skipped);
+                    }
+                }
+            }
+            prev = Some(now);
+            // The tick verdicts carry each agent's sleep horizon (the
+            // trait contract: the verdict mirrors `wake_at`, which
+            // depends only on the agent's own state), so one pass both
+            // ticks and aggregates — no second virtual-dispatch sweep.
+            let mut agent_stop = false;
+            let mut until = Cycle::MAX;
+            let mut can_sleep = true;
+            for &i in &active {
+                match agents[i].tick(now, completed.as_ref(), model) {
+                    Control::Stop => agent_stop = true,
+                    Control::Continue => can_sleep = false,
+                    Control::Sleep(t) => until = until.min(t),
+                }
+            }
+            let granted = model.end_cycle(now);
+            if P::ACTIVE {
+                if let Some(core) = granted {
+                    probe.on_grant(now, core);
+                }
+                model.drain_events(&mut |event| forward_event(probe, event));
+            }
+            let stop = agent_stop
+                || match stop_when {
+                    StopWhen::AgentDone(i) => agents[i].is_done(),
+                    // Inert agents are done by contract: checking the
+                    // active set is equivalent.
+                    StopWhen::AllAgentsDone => active.iter().all(|&i| agents[i].is_done()),
+                    StopWhen::Horizon(h) => now + 1 >= h,
+                };
+            if stop {
+                now += 1;
+                stopped = true;
+                break;
+            }
+            if events {
+                if let StopWhen::Horizon(h) = stop_when {
+                    // The stop fires from the tick at cycle h - 1; never
+                    // skip it.
+                    until = until.min(h - 1);
+                }
+                if can_sleep && until > now + 1 {
+                    if let Some(event) = model.next_event(now) {
+                        let jump = event.min(until).min(max_cycles);
+                        if jump > now + 1 {
+                            model.advance(now, jump);
+                            now = jump;
+                            continue;
+                        }
+                    }
+                }
+            }
+            now += 1;
+        }
+        // A run that hits max_cycles mid-skip ends without another tick;
+        // absorb the tail so agent statistics stay bit-identical to the
+        // per-cycle loop.
+        if let Some(prev) = prev {
+            let tail = (now - 1).saturating_sub(prev);
+            if tail > 0 {
+                for &i in &active {
+                    agents[i].absorb_skipped(tail);
+                }
+            }
+        }
+        if P::ACTIVE {
+            // A run truncated mid-skip leaves events buffered by the
+            // final `advance` (e.g. coalesced credit flips); drain them
+            // before closing the stream.
+            model.drain_events(&mut |event| forward_event(probe, event));
+            probe.on_finish(now);
+        }
+        let outcome = DriveOutcome {
+            cycles: now,
+            stopped,
+        };
+        self.outcome = Some(outcome);
+        outcome
+    }
+
+    /// The model, for post-run extraction (traces, statistics).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to reset it between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The agents, in the order they were added.
+    pub fn agents(&self) -> &[BoxedAgent<M>] {
+        &self.agents
+    }
+
+    /// Mutable access to the agents (e.g. to reset them between runs).
+    pub fn agents_mut(&mut self) -> &mut [BoxedAgent<M>] {
+        &mut self.agents
+    }
+
+    /// The agent at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn agent(&self, index: usize) -> &dyn SimAgent<M, M::Completion> {
+        &*self.agents[index]
+    }
+
+    /// The probe, for post-run extraction of its accumulated data.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The outcome of the last [`run`](Simulation::run), if any.
+    pub fn outcome(&self) -> Option<DriveOutcome> {
+        self.outcome
+    }
+
+    /// Decomposes the simulation into its parts (model, agents, probe).
+    pub fn into_parts(self) -> (M, Vec<BoxedAgent<M>>, P) {
+        (self.model, self.agents, self.probe)
+    }
+}
+
+/// Routes one drained [`ModelEvent`] to its probe callback (shared by
+/// the per-cycle and end-of-run drains so a future event variant cannot
+/// be wired into one and forgotten in the other).
+fn forward_event<C, P: Probe<C>>(probe: &mut P, event: ModelEvent) {
+    match event {
+        ModelEvent::CreditFlip { at, core, eligible } => probe.on_credit_flip(at, core, eligible),
+    }
+}
+
+/// Assembles a [`Simulation`]; created by [`Simulation::builder`].
+pub struct SimulationBuilder<M: BusModel, P: Probe<M::Completion> = NoProbe> {
+    model: Option<M>,
+    agents: Vec<BoxedAgent<M>>,
+    stop: StopWhen,
+    engine: Engine,
+    max_cycles: Cycle,
+    probe: P,
+}
+
+impl<M: BusModel, P: Probe<M::Completion>> SimulationBuilder<M, P> {
+    /// Sets the interconnect model (a flat bus, a split bus, a fabric —
+    /// anything implementing [`BusModel`]). Required.
+    pub fn model(mut self, model: M) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Adds one agent. Agents are ticked in insertion order each cycle;
+    /// index 0 is the platform's "task under analysis" slot.
+    pub fn agent(mut self, agent: impl SimAgent<M, M::Completion> + 'static) -> Self {
+        self.agents.push(Box::new(agent));
+        self
+    }
+
+    /// Adds one already-boxed agent (the currency of agent registries).
+    pub fn agent_boxed(mut self, agent: BoxedAgent<M>) -> Self {
+        self.agents.push(agent);
+        self
+    }
+
+    /// Adds a batch of boxed agents, in order.
+    pub fn agents(mut self, agents: impl IntoIterator<Item = BoxedAgent<M>>) -> Self {
+        self.agents.extend(agents);
+        self
+    }
+
+    /// Sets the stop condition (default: [`StopWhen::AllAgentsDone`]).
+    pub fn stop(mut self, stop: StopWhen) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Selects the cycle loop (default: [`Engine::Events`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the hard safety limit on simulated cycles (default:
+    /// `Cycle::MAX`, i.e. effectively unlimited — set one whenever the
+    /// stop condition could fail to fire).
+    pub fn max_cycles(mut self, max_cycles: Cycle) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Attaches a streaming observer, replacing the zero-cost
+    /// [`NoProbe`] default.
+    pub fn observe<Q: Probe<M::Completion>>(self, probe: Q) -> SimulationBuilder<M, Q> {
+        SimulationBuilder {
+            model: self.model,
+            agents: self.agents,
+            stop: self.stop,
+            engine: self.engine,
+            max_cycles: self.max_cycles,
+            probe,
+        }
+    }
+
+    /// Finishes assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model was set.
+    pub fn build(self) -> Simulation<M, P> {
+        Simulation {
+            model: self.model.expect("Simulation::builder needs a model"),
+            agents: self.agents,
+            stop: self.stop,
+            engine: self.engine,
+            max_cycles: self.max_cycles,
+            probe: self.probe,
+            outcome: None,
+        }
+    }
+
+    /// Convenience: [`build`](SimulationBuilder::build) then
+    /// [`run`](Simulation::run), returning the finished simulation for
+    /// result extraction (its [`outcome`](Simulation::outcome) is set).
+    pub fn run(self) -> Simulation<M, P> {
+        let mut sim = self.build();
+        sim.run();
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Idle;
+    use crate::rng::SimRng;
+    use crate::trace::GrantTrace;
+    use crate::CoreId;
+
+    /// The OneShot toy model from the engine tests, duplicated here to
+    /// keep the modules independent.
+    #[derive(Debug)]
+    struct OneShot {
+        trace: GrantTrace,
+        pending: Option<u32>,
+        busy_until: Option<Cycle>,
+        skipped: u64,
+    }
+
+    impl OneShot {
+        fn new() -> Self {
+            OneShot {
+                trace: GrantTrace::counting(1),
+                pending: None,
+                busy_until: None,
+                skipped: 0,
+            }
+        }
+    }
+
+    impl BusModel for OneShot {
+        type Request = u32;
+        type Completion = Cycle;
+        type Error = &'static str;
+
+        fn begin_cycle(&mut self, now: Cycle) -> Option<Cycle> {
+            if self.busy_until == Some(now) {
+                self.busy_until = None;
+                return Some(now);
+            }
+            None
+        }
+
+        fn post(&mut self, req: u32) -> Result<(), &'static str> {
+            if self.pending.is_some() {
+                return Err("already pending");
+            }
+            self.pending = Some(req);
+            Ok(())
+        }
+
+        fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+            if self.busy_until.is_none() {
+                if let Some(dur) = self.pending.take() {
+                    self.busy_until = Some(now + dur as Cycle);
+                    self.trace.record(now, CoreId::from_index(0), dur);
+                    return Some(CoreId::from_index(0));
+                }
+            }
+            None
+        }
+
+        fn owner(&self) -> Option<CoreId> {
+            self.busy_until.map(|_| CoreId::from_index(0))
+        }
+
+        fn trace(&self) -> &GrantTrace {
+            &self.trace
+        }
+
+        fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+            match (self.busy_until, self.pending) {
+                (Some(ends_at), _) => Some(ends_at),
+                (None, Some(_)) => Some(now + 1),
+                (None, None) => Some(Cycle::MAX),
+            }
+        }
+
+        fn advance(&mut self, from: Cycle, to: Cycle) {
+            self.skipped += to - from - 1;
+        }
+    }
+
+    /// Posts `n` 7-cycle requests, one per 20-cycle period.
+    struct Periodic {
+        left: u32,
+        next: Cycle,
+        waiting: bool,
+        done_at: Option<Cycle>,
+        skipped_seen: u64,
+    }
+
+    impl Periodic {
+        fn new(n: u32) -> Self {
+            Periodic {
+                left: n,
+                next: 0,
+                waiting: false,
+                done_at: None,
+                skipped_seen: 0,
+            }
+        }
+    }
+
+    impl SimAgent<OneShot, Cycle> for Periodic {
+        fn tick(&mut self, now: Cycle, completed: Option<&Cycle>, bus: &mut OneShot) -> Control {
+            if completed.is_some() && self.waiting {
+                self.waiting = false;
+                if self.left == 0 && self.done_at.is_none() {
+                    self.done_at = Some(now);
+                }
+            }
+            if self.left > 0 && now >= self.next && !self.waiting {
+                bus.post(7).unwrap();
+                self.left -= 1;
+                self.next = (now / 20 + 1) * 20;
+                self.waiting = true;
+            }
+            Control::Sleep(self.wake_at().unwrap())
+        }
+
+        fn wake_at(&self) -> Option<Cycle> {
+            if self.waiting || self.left == 0 {
+                Some(Cycle::MAX)
+            } else {
+                Some(self.next)
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.left == 0 && !self.waiting
+        }
+
+        fn done_at(&self) -> Option<Cycle> {
+            self.done_at
+        }
+
+        fn absorb_skipped(&mut self, skipped: u64) {
+            self.skipped_seen += skipped;
+        }
+
+        fn reset(&mut self, _rng: &mut SimRng) {
+            *self = Periodic::new(5);
+        }
+    }
+
+    fn run_with(engine: Engine) -> (Simulation<OneShot>, DriveOutcome) {
+        let mut sim = Simulation::builder()
+            .model(OneShot::new())
+            .agent(Periodic::new(5))
+            .agent(Idle::new())
+            .stop(StopWhen::AllAgentsDone)
+            .engine(engine)
+            .max_cycles(10_000)
+            .build();
+        let outcome = sim.run();
+        (sim, outcome)
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit() {
+        let (naive_sim, naive) = run_with(Engine::Naive);
+        let (fast_sim, fast) = run_with(Engine::Events);
+        assert_eq!(naive, fast);
+        assert_eq!(
+            naive_sim.model().trace().total_slots(),
+            fast_sim.model().trace().total_slots()
+        );
+        assert_eq!(naive_sim.agent(0).done_at(), fast_sim.agent(0).done_at());
+        assert!(fast_sim.model().skipped > 0, "fast path must skip");
+        assert_eq!(naive_sim.model().skipped, 0, "naive path never skips");
+        // Skipped-cycle accounting reaches the agents.
+        assert!(fast_sim.outcome().is_some());
+    }
+
+    #[test]
+    fn horizon_stop_is_exact() {
+        let mut sim = Simulation::builder()
+            .model(OneShot::new())
+            .agent(Periodic::new(1_000))
+            .stop(StopWhen::Horizon(137))
+            .max_cycles(10_000)
+            .build();
+        let outcome = sim.run();
+        assert!(outcome.stopped);
+        assert_eq!(outcome.cycles, 137);
+    }
+
+    #[test]
+    fn agent_done_stop_uses_the_indexed_agent() {
+        let mut sim = Simulation::builder()
+            .model(OneShot::new())
+            .agent(Periodic::new(2))
+            .stop(StopWhen::AgentDone(0))
+            .max_cycles(10_000)
+            .build();
+        let outcome = sim.run();
+        assert!(outcome.stopped);
+        assert_eq!(sim.agent(0).done_at(), Some(27), "second grant at 20+7");
+    }
+
+    #[test]
+    fn max_cycles_bounds_the_run() {
+        let mut sim = Simulation::builder()
+            .model(OneShot::new())
+            .agent(Periodic::new(u32::MAX))
+            .max_cycles(100)
+            .build();
+        let outcome = sim.run();
+        assert!(!outcome.stopped);
+        assert_eq!(outcome.cycles, 100);
+    }
+
+    #[derive(Default)]
+    struct CountingProbe {
+        grants: u64,
+        completions: u64,
+        finish: Option<Cycle>,
+    }
+
+    impl Probe<Cycle> for CountingProbe {
+        fn on_grant(&mut self, _now: Cycle, _core: CoreId) {
+            self.grants += 1;
+        }
+        fn on_completion(&mut self, _now: Cycle, _c: &Cycle) {
+            self.completions += 1;
+        }
+        fn on_finish(&mut self, total: Cycle) {
+            self.finish = Some(total);
+        }
+    }
+
+    #[test]
+    fn probe_sees_every_grant_and_completion() {
+        let sim = Simulation::builder()
+            .model(OneShot::new())
+            .agent(Periodic::new(5))
+            .stop(StopWhen::AllAgentsDone)
+            .max_cycles(10_000)
+            .observe(CountingProbe::default())
+            .run();
+        let probe = sim.probe();
+        assert_eq!(probe.grants, 5);
+        assert_eq!(probe.completions, 5);
+        assert_eq!(probe.finish, sim.outcome().map(|o| o.cycles));
+        assert_eq!(sim.model().trace().total_slots(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a model")]
+    fn building_without_a_model_panics() {
+        let _ = Simulation::<OneShot>::builder().build();
+    }
+}

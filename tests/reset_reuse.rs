@@ -12,7 +12,7 @@
 use cba::{CreditConfig, CreditFilter};
 use cba_bus::fabric::{Fabric, FabricConfig};
 use cba_bus::split::{SplitBus, SplitBusConfig, SplitRequest};
-use cba_bus::{Bus, BusConfig, BusRequest, PolicyKind, RequestKind, RequestPort};
+use cba_bus::{Bus, BusConfig, BusModel, BusRequest, PolicyKind, RequestKind, RequestPort};
 use sim_core::lfsr::LfsrBank;
 use sim_core::{CoreId, Cycle};
 
@@ -137,6 +137,84 @@ fn split_bus_reset_reuse_equals_fresh_model() {
         let got = drive(&mut reused);
         assert_eq!(got, expected, "split bus round {round} diverged");
         reused.reset();
+    }
+}
+
+/// Reset-reuse through the whole open client stack: registry-built
+/// agents driven by the `Simulation` facade, reset via the `SimAgent`
+/// trait, must reproduce a fresh assembly bit for bit.
+#[test]
+fn agent_reset_reuse_through_the_simulation_facade() {
+    use cba_platform::agents::default_registry;
+    use cba_platform::{BusSetup, CoreLoad, PlatformConfig, PortAgent};
+    use sim_core::rng::SimRng;
+    use sim_core::{BoxedAgent, Engine, Simulation, StopWhen};
+
+    let platform = PlatformConfig::paper(&BusSetup::Rp);
+    let loads = [
+        CoreLoad::FixedTask {
+            n_requests: 50,
+            duration: 6,
+            gap: 4,
+        },
+        CoreLoad::Periodic {
+            duration: 28,
+            period: 90,
+            phase: 3,
+        },
+        CoreLoad::Saturating { duration: 56 },
+        CoreLoad::Idle,
+    ];
+    let build_agents = || -> Vec<BoxedAgent<Bus>> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, load)| {
+                let mut rng = SimRng::seed_from(31).fork(0xC0 + i as u64);
+                let inner = default_registry()
+                    .build(load, c(i), &platform, &mut rng)
+                    .expect("builtin kinds");
+                Box::new(PortAgent::new(inner)) as BoxedAgent<Bus>
+            })
+            .collect()
+    };
+    let build_bus = || {
+        let mut bus = Bus::new(
+            BusConfig::new(4, 56).unwrap(),
+            PolicyKind::RoundRobin.build(4, 56),
+        );
+        bus.set_filter(Box::new(CreditFilter::new(
+            CreditConfig::homogeneous(4, 56).unwrap(),
+        )));
+        bus
+    };
+    let run = |bus: Bus, agents: Vec<BoxedAgent<Bus>>| -> (Fingerprint, Simulation<Bus>) {
+        let mut sim = Simulation::builder()
+            .model(bus)
+            .agents(agents)
+            .stop(StopWhen::Horizon(5_000))
+            .engine(Engine::Events)
+            .max_cycles(10_000)
+            .build();
+        sim.run();
+        let print = bus_fingerprint(sim.model(), 4);
+        (print, sim)
+    };
+
+    let (expected, _) = run(build_bus(), build_agents());
+    // Reuse the *same* model and agents across two more rounds.
+    let (got, sim) = run(build_bus(), build_agents());
+    assert_eq!(got, expected);
+    let (mut bus, mut agents, _) = sim.into_parts();
+    for round in 0..2 {
+        bus.reset();
+        for (i, agent) in agents.iter_mut().enumerate() {
+            let mut rng = SimRng::seed_from(31).fork(0xC0 + i as u64);
+            agent.reset(&mut rng);
+        }
+        let (got, sim) = run(bus, agents);
+        assert_eq!(got, expected, "facade round {round} diverged");
+        (bus, agents, _) = sim.into_parts();
     }
 }
 

@@ -5,7 +5,7 @@
 
 use cba::{CreditConfig, CreditFilter};
 use cba_bus::split::{SplitBus, SplitBusConfig, SplitRequest};
-use cba_bus::PolicyKind;
+use cba_bus::{BusModel, PolicyKind};
 use sim_core::CoreId;
 
 fn c(i: usize) -> CoreId {
