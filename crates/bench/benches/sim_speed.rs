@@ -1,80 +1,88 @@
-//! End-to-end simulator throughput: the naive per-cycle loop versus the
-//! event-horizon fast path, in simulated **cycles per second**.
+//! End-to-end simulator throughput on the shipped scenarios: the naive
+//! per-cycle loop, the event-horizon fast path, and the fluid
+//! continuous-event backend, in simulated **cycles per second**.
 //!
-//! For each scenario the same seeded runs execute under both engines
-//! (`DriveMode::Naive` / `DriveMode::Events`); the results are asserted
-//! bit-identical, wall time is measured, and a machine-readable summary is
-//! written to `BENCH_sim_speed.json` (via `sim_core::export`) so CI can
-//! record the perf trajectory. `CBA_RUNS` scales the per-spec run count
-//! (smoke mode in CI); `CBA_SEED` sets the master seed.
+//! Every `scenarios/*.scn` expands to its full sweep grid; the same seeded
+//! runs execute under each engine listed in `CBA_ENGINES` (comma-separated,
+//! default `naive,events,fluid`). Listing an engine that does not exist is
+//! a hard error — the bench panics with the parser's message instead of
+//! emitting null columns for a backend nobody ran. Cross-checks ride
+//! along: naive and events results are asserted bit-identical, and the
+//! fluid rows record the worst per-core share deviation from events
+//! (`fluid_share_dev`, expected ~0 — the in-tree fluid executor is exact).
 //!
-//! Expected shape: multi-× speedups wherever the bus is idle for long
-//! stretches (TDMA slot waits, credit-recovery gaps) or held by long
-//! transactions (MaxL contenders), smaller but real wins on the cache-model
-//! Figure-1 workloads whose compute phases still step per cycle.
+//! A machine-readable summary is written to `BENCH_sim_speed.json` (via
+//! `sim_core::export`) so CI can record the perf trajectory. `CBA_RUNS`
+//! scales the per-spec run count (smoke mode in CI); `CBA_SEED` sets the
+//! master seed.
+//!
+//! Expected shape: the events engine wins multi-× wherever the bus idles
+//! for long stretches; the fluid engine adds an order of magnitude or two
+//! on top wherever a run settles into a steady limit cycle it can
+//! fast-forward (`fairness_sweep`, `scaling_16core`), and roughly ties
+//! events where every cycle carries fresh randomness or cache-model state.
 
 use cba_bench::{print_row, rule, runs_from_env, seed_from_env};
-use cba_platform::scenario::ScenarioDef;
+use cba_platform::scenario::{parse_engine, ScenarioDef};
 use cba_platform::{run_once, DriveMode, RunResult, RunSpec};
 use sim_core::export::Json;
 use std::time::Instant;
 
-/// One benchmark scenario: a label and the specs it runs.
+/// One benchmark scenario: a label and the specs of its expanded grid.
 struct Case {
-    name: &'static str,
-    what: &'static str,
+    name: String,
     specs: Vec<RunSpec>,
 }
 
-fn specs_of(text: &str) -> Vec<RunSpec> {
-    ScenarioDef::parse(text)
-        .expect("bench scenario parses")
-        .expand()
-        .expect("bench scenario expands")
+/// Every shipped `scenarios/*.scn`, expanded.
+fn cases() -> Vec<Case> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("scenarios/ exists")
+        .filter_map(|e| {
+            let p = e.expect("readable dir entry").path();
+            (p.extension().map(|x| x == "scn") == Some(true)).then_some(p)
+        })
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no shipped scenarios under {dir}");
+    paths
         .into_iter()
-        .map(|cell| cell.spec)
+        .map(|path| {
+            let name = path.file_stem().unwrap().to_string_lossy().to_string();
+            let text = std::fs::read_to_string(&path).expect("scenario readable");
+            let specs = ScenarioDef::parse(&text)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .expand()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .into_iter()
+                .map(|cell| cell.spec)
+                .collect();
+            Case { name, specs }
+        })
         .collect()
 }
 
-fn cases() -> Vec<Case> {
-    vec![
-        Case {
-            name: "paper_fig1",
-            what: "canrdr through the core model, {RP,CBA} x {ISO,CON}",
-            specs: specs_of(
-                "[campaign]\nname = b\n[tua]\nload = bench:canrdr\n\
-                 [sweep]\nsetup = rp,cba\nscenario = iso,con\n",
-            ),
-        },
-        Case {
-            name: "illustrative",
-            what: "fixed 1000x(6+4) TuA vs 3 streaming 28-cycle co-runners, RR+CBA",
-            specs: specs_of(
-                "[campaign]\nname = b\n[platform]\npolicy = rr\ncba = homog\n\
-                 [tua]\nload = fixed:1000:6:4\n[contenders]\nfill = sat:28\nwcet = off\n",
-            ),
-        },
-        Case {
-            name: "tdma_idle",
-            what: "TDMA slots with a lone fixed-request TuA (idle-heavy)",
-            specs: specs_of(
-                "[campaign]\nname = b\n[platform]\npolicy = tdma\n\
-                 [tua]\nload = fixed:1000:6:4\n[contenders]\nscenario = iso\n",
-            ),
-        },
-        Case {
-            name: "credit_recovery",
-            what: "CBA WCET mode: MaxL contenders gated by budget recovery",
-            specs: specs_of(
-                "[campaign]\nname = b\n[platform]\ncba = homog\n\
-                 [tua]\nload = fixed:500:6:4\n[contenders]\nscenario = con\n",
-            ),
-        },
-    ]
+/// The engine list under measurement. Unknown names are a hard error so a
+/// stale `CBA_ENGINES` (or a removed backend) fails loudly instead of
+/// producing a JSON row full of nulls.
+fn engines_from_env() -> Vec<DriveMode> {
+    let raw = std::env::var("CBA_ENGINES").unwrap_or_else(|_| "naive,events,fluid".into());
+    let engines: Vec<DriveMode> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            parse_engine(name)
+                .unwrap_or_else(|e| panic!("CBA_ENGINES: {e}; no columns were emitted"))
+        })
+        .collect();
+    assert!(!engines.is_empty(), "CBA_ENGINES selected no engines");
+    engines
 }
 
 /// Executes every (spec, run) of a case under `mode`; returns (simulated
-/// cycles, elapsed seconds, the full run results for the identity check).
+/// cycles, elapsed seconds, the full run results for the cross-checks).
 fn measure(case: &Case, runs: usize, seed: u64, mode: DriveMode) -> (u64, f64, Vec<RunResult>) {
     let mut cycles = 0u64;
     let mut results = Vec::with_capacity(case.specs.len() * runs);
@@ -91,59 +99,131 @@ fn measure(case: &Case, runs: usize, seed: u64, mode: DriveMode) -> (u64, f64, V
     (cycles, start.elapsed().as_secs_f64(), results)
 }
 
+/// Worst per-core absolute share deviation between two engines' runs.
+fn max_share_dev(a: &[RunResult], b: &[RunResult]) -> f64 {
+    let mut dev = 0.0f64;
+    for (ra, rb) in a.iter().zip(b) {
+        for core in 0..ra.bus_busy.len() {
+            dev = dev.max((ra.absolute_cycle_share(core) - rb.absolute_cycle_share(core)).abs());
+        }
+    }
+    dev
+}
+
 fn main() {
     let runs = runs_from_env(20);
     let seed = seed_from_env();
-    println!("sim_speed: {runs} runs per spec, seed {seed}");
-    rule(86);
+    let engines = engines_from_env();
+    let labels: Vec<String> = engines.iter().map(|e| e.to_string()).collect();
+    println!(
+        "sim_speed: {runs} runs per spec, seed {seed}, engines {}",
+        labels.join(",")
+    );
+    rule(98);
     print_row(&[
-        ("scenario", 16),
-        ("sim cycles", 14),
-        ("naive cyc/s", 14),
-        ("events cyc/s", 14),
-        ("speedup", 10),
+        ("scenario", 20),
+        ("sim cycles", 12),
+        ("naive cyc/s", 13),
+        ("events cyc/s", 13),
+        ("fluid cyc/s", 13),
+        ("ev/naive", 9),
+        ("fluid/ev", 9),
     ]);
-    rule(86);
+    rule(98);
 
     let mut rows = Vec::new();
     for case in cases() {
-        let (naive_cycles, naive_secs, naive_results) =
-            measure(&case, runs, seed, DriveMode::Naive);
-        let (event_cycles, event_secs, event_results) =
-            measure(&case, runs, seed, DriveMode::Events);
-        assert_eq!(
-            naive_results, event_results,
-            "{}: engines disagree on run results",
-            case.name
-        );
-        let naive_rate = naive_cycles as f64 / naive_secs;
-        let event_rate = event_cycles as f64 / event_secs;
-        let speedup = event_rate / naive_rate;
+        // (seconds, cycles/sec, results) per engine, in naive/events/fluid
+        // slots; engines not listed in CBA_ENGINES simply leave their slot
+        // empty and their JSON keys absent (never null).
+        let mut slots: [Option<(f64, f64, Vec<RunResult>)>; 3] = [None, None, None];
+        let mut cycles = 0u64;
+        for &engine in &engines {
+            let (c, secs, results) = measure(&case, runs, seed, engine);
+            cycles = c;
+            let slot = match engine {
+                DriveMode::Naive => 0,
+                DriveMode::Events => 1,
+                DriveMode::Fluid => 2,
+                other => panic!("sim_speed has no column for engine '{other}'"),
+            };
+            slots[slot] = Some((secs, c as f64 / secs, results));
+        }
+        let [naive, events, fluid] = &slots;
+
+        let mut fields: Vec<(String, Json)> = vec![
+            ("name".into(), Json::str(&case.name)),
+            ("specs".into(), Json::Num(case.specs.len() as f64)),
+            ("simulated_cycles".into(), Json::Num(cycles as f64)),
+        ];
+        for (label, slot) in [("naive", naive), ("events", events), ("fluid", fluid)] {
+            if let Some((secs, rate, _)) = slot {
+                fields.push((format!("{label}_seconds"), Json::Num(*secs)));
+                fields.push((format!("{label}_cycles_per_sec"), Json::Num(*rate)));
+            }
+        }
+
+        if let (Some((_, _, n)), Some((_, _, e))) = (naive, events) {
+            assert_eq!(n, e, "{}: naive and events engines disagree", case.name);
+        }
+        let speedup = match (naive, events) {
+            (Some((_, nr, _)), Some((_, er, _))) => {
+                let s = er / nr;
+                fields.push(("speedup".into(), Json::Num(s)));
+                Some(s)
+            }
+            _ => None,
+        };
+        let fluid_speedup = match (events, fluid) {
+            (Some((_, er, ev)), Some((_, fr, fl))) => {
+                let s = fr / er;
+                fields.push(("fluid_speedup_vs_events".into(), Json::Num(s)));
+                let dev = max_share_dev(ev, fl);
+                assert!(
+                    dev <= 0.02,
+                    "{}: fluid share deviation {dev:.4} above the 2% contract",
+                    case.name
+                );
+                fields.push(("fluid_share_dev".into(), Json::Num(dev)));
+                Some(s)
+            }
+            _ => None,
+        };
+
+        let fmt_rate = |slot: &Option<(f64, f64, Vec<RunResult>)>| {
+            slot.as_ref()
+                .map(|(_, r, _)| format!("{r:.3e}"))
+                .unwrap_or_else(|| "-".into())
+        };
         print_row(&[
-            (case.name, 16),
-            (&format!("{naive_cycles}"), 14),
-            (&format!("{naive_rate:.3e}"), 14),
-            (&format!("{event_rate:.3e}"), 14),
-            (&format!("{speedup:.2}x"), 10),
+            (&case.name, 20),
+            (&format!("{cycles}"), 12),
+            (&fmt_rate(naive), 13),
+            (&fmt_rate(events), 13),
+            (&fmt_rate(fluid), 13),
+            (
+                &speedup.map(|s| format!("{s:.2}x")).unwrap_or("-".into()),
+                9,
+            ),
+            (
+                &fluid_speedup
+                    .map(|s| format!("{s:.1}x"))
+                    .unwrap_or("-".into()),
+                9,
+            ),
         ]);
-        rows.push(Json::obj([
-            ("name", Json::str(case.name)),
-            ("what", Json::str(case.what)),
-            ("specs", Json::Num(case.specs.len() as f64)),
-            ("simulated_cycles", Json::Num(naive_cycles as f64)),
-            ("naive_seconds", Json::Num(naive_secs)),
-            ("events_seconds", Json::Num(event_secs)),
-            ("naive_cycles_per_sec", Json::Num(naive_rate)),
-            ("events_cycles_per_sec", Json::Num(event_rate)),
-            ("speedup", Json::Num(speedup)),
-        ]));
+        rows.push(Json::obj(fields));
     }
-    rule(86);
+    rule(98);
 
     let doc = Json::obj([
         ("bench", Json::str("sim_speed")),
         ("runs_per_spec", Json::Num(runs as f64)),
         ("seed", Json::Num(seed as f64)),
+        (
+            "engines",
+            Json::Arr(labels.iter().map(Json::str).collect()),
+        ),
         ("scenarios", Json::Arr(rows)),
     ]);
     // Cargo runs benches with the package directory as CWD; anchor the

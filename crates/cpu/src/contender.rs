@@ -222,6 +222,13 @@ impl PeriodicContender {
     pub fn wake_at(&self) -> Option<Cycle> {
         Some(self.next_issue)
     }
+
+    /// Shifts the contender's only absolute-time state (`next_issue`) by
+    /// `delta` cycles, for engines that fast-forward a detected limit
+    /// cycle arithmetically instead of replaying its ticks.
+    pub fn shift_time(&mut self, delta: Cycle) {
+        self.next_issue += delta;
+    }
 }
 
 /// The open client-side interface: a periodic contender never finishes

@@ -151,6 +151,34 @@ impl FixedRequestTask {
         }
     }
 
+    /// Shifts the task's only absolute-time state (the pending `post_at`,
+    /// while computing) by `delta` cycles. Fast-forwarding engines that
+    /// replay a detected limit cycle arithmetically use this to relocate
+    /// the task in time without replaying ticks; counters and `done_at`
+    /// are untouched.
+    pub fn shift_time(&mut self, delta: Cycle) {
+        if let FixedState::Computing { post_at } = &mut self.state {
+            *post_at += delta;
+        }
+    }
+
+    /// Credits `k` further completed (and issued) requests without
+    /// ticking, for engines that fast-forward whole recurring periods.
+    /// The task must stay strictly below `n_requests` completions: the
+    /// final completion has to execute live so `done_at` is observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` would reach or exceed the final completion.
+    pub fn absorb_completions(&mut self, k: u64) {
+        assert!(
+            self.completed + k < self.n_requests,
+            "the final completion must execute live"
+        );
+        self.completed += k;
+        self.issued += k;
+    }
+
     /// Sleep horizon for the event-driven engine: nothing happens until
     /// the next post cycle (while computing) or the next completion
     /// (while waiting or done — `Cycle::MAX`, a bus event wakes it).

@@ -1,0 +1,1037 @@
+//! The `engine = fluid` executor: a continuous-event drive loop that
+//! treats a run as a stream of *grant events* instead of cycles.
+//!
+//! # What "fluid" means here
+//!
+//! The events engine ([`DriveMode::Events`](crate::DriveMode::Events))
+//! still executes every *eventful* cycle through the full
+//! [`Bus`](cba_bus::Bus) object graph — virtual policy/filter dispatch,
+//! trace bookkeeping, probe fan-out. The fluid engine replaces that object
+//! graph with a flattened continuous-time model of the same semantics:
+//!
+//! * **Flat platforms** run on [`FlatModel`], a de-virtualized replica of
+//!   the non-split bus's cycle protocol (same arbitration order, same
+//!   filter hooks, same accounting) whose state is plain data — which is
+//!   what makes the *limit-cycle fast-forward* possible: once the model,
+//!   the filter and every synthetic workload return to a previously seen
+//!   state (all absolute times taken relative to "now"), the run has
+//!   entered a periodic regime and whole periods are applied
+//!   arithmetically — counters jump by `m × Δ`, clocks shift by `m × dt`
+//!   — instead of being replayed. Saturated fair-sharing runs (the
+//!   scaling and WCET sweeps) reach their limit cycle within a few
+//!   rotations and then finish in O(1) per period.
+//! * **Fabric platforms** drive the real [`Fabric`](cba_bus::Fabric)
+//!   through its [`BusModel`] event interface; bridge pipelines make the
+//!   state space too rich for signature matching, so the fabric path is
+//!   event-sparse but not fast-forwarded.
+//!
+//! Both paths reuse the *real* client state machines
+//! ([`FixedRequestTask`], [`Contender`], [`PeriodicContender`], and any
+//! registry-built agent), so the fluid engine is an independent executor
+//! of the same specification, not a re-derivation of the workloads. The
+//! cross-validation harness (`tests/fluid_accuracy.rs`,
+//! `tests/random_differential.rs`) holds it to the events engine's
+//! results on every shipped scenario.
+//!
+//! The underlying continuous fair-sharing mathematics (virtual-time lane,
+//! O(log n) completion heap) lives in [`sim_core::fluid`]; this module is
+//! the platform-level executor that [`DriveMode::Fluid`] dispatches to.
+
+use crate::agents::{AgentRegistry, BoxedPortAgent};
+use crate::platform::{build_fabric, CoreLoad, RunResult, RunSpec, StopCondition};
+use crate::probes::WindowedFairnessProbe;
+use cba::{CreditFilter, Mode};
+use cba_bus::fabric::Fabric;
+use cba_bus::{
+    ArbitrationPolicy, BusError, BusRequest, Candidate, CompletedTransaction, EligibilityFilter,
+    FilterHorizon, PendingSet, PolicyKind, RandomSource, RequestKind, RequestPort,
+};
+use cba_cpu::{Contender, FixedRequestTask, PeriodicContender};
+use sim_core::lfsr::LfsrBank;
+use sim_core::rng::SimRng;
+use sim_core::trace::GrantTrace;
+use sim_core::{BusModel, Control, CoreId, Cycle, Probe};
+use std::collections::HashMap;
+
+/// Cap on the limit-cycle signature table; a run whose state never recurs
+/// (e.g. priority starvation with unboundedly aging requests) would
+/// otherwise grow one entry per completion.
+const MAX_SIGNATURES: usize = 4096;
+
+/// Executes `spec` under the fluid engine. Entry point for
+/// [`DriveMode::Fluid`](crate::DriveMode::Fluid); same contract as the
+/// events path of [`run_once_with`](crate::run_once_with) — the spec is
+/// already validated by the caller.
+pub fn run_fluid(spec: &RunSpec, seed: u64, registry: &AgentRegistry) -> RunResult {
+    let rng = SimRng::seed_from(seed);
+    match &spec.platform.topology {
+        None => run_flat(spec, &rng, registry),
+        Some(topo) => {
+            let fabric = build_fabric(spec, topo, &rng);
+            run_fabric_fluid(spec, fabric, &rng, registry)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client flows
+// ---------------------------------------------------------------------
+
+/// One core's workload in the fluid executor. The synthetic kinds embed
+/// the cpu crate's state machines directly (no boxing, no virtual
+/// dispatch); anything else goes through the registry-built agent, exactly
+/// as in the events path.
+enum Flow {
+    Fixed(FixedRequestTask),
+    Sat(Contender),
+    Per(PeriodicContender),
+    Idle,
+    Agent(BoxedPortAgent),
+}
+
+impl Flow {
+    fn tick(
+        &mut self,
+        now: Cycle,
+        completed: Option<&CompletedTransaction>,
+        port: &mut (dyn RequestPort + 'static),
+    ) -> Control {
+        match self {
+            Flow::Fixed(t) => {
+                t.tick(now, completed, port);
+                Control::Sleep(t.wake_at().unwrap_or(Cycle::MAX))
+            }
+            Flow::Sat(c) => {
+                c.tick(now, completed, port);
+                Control::Sleep(Cycle::MAX)
+            }
+            Flow::Per(p) => {
+                p.tick(now, completed, port);
+                Control::Sleep(p.wake_at().unwrap_or(Cycle::MAX))
+            }
+            Flow::Idle => Control::Sleep(Cycle::MAX),
+            Flow::Agent(a) => a.tick(now, completed, port),
+        }
+    }
+
+    fn wake_at(&self) -> Option<Cycle> {
+        match self {
+            Flow::Fixed(t) => t.wake_at(),
+            Flow::Sat(c) => c.wake_at(),
+            Flow::Per(p) => p.wake_at(),
+            Flow::Idle => Some(Cycle::MAX),
+            Flow::Agent(a) => a.wake_at(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            Flow::Fixed(t) => t.done_at().is_some(),
+            Flow::Sat(_) | Flow::Per(_) => false,
+            Flow::Idle => true,
+            Flow::Agent(a) => a.is_done(),
+        }
+    }
+
+    fn is_inert(&self) -> bool {
+        match self {
+            Flow::Idle => true,
+            Flow::Agent(a) => a.is_inert(),
+            _ => false,
+        }
+    }
+
+    fn done_at(&self) -> Option<Cycle> {
+        match self {
+            Flow::Fixed(t) => t.done_at(),
+            Flow::Agent(a) => a.done_at(),
+            _ => None,
+        }
+    }
+
+    fn absorb(&mut self, skipped: u64) {
+        if let Flow::Agent(a) = self {
+            a.absorb_skipped(skipped);
+        }
+    }
+}
+
+/// Builds the per-core flows, forking the agent RNG streams exactly like
+/// the events path (`rng.fork(0xC0 + i)`), so registry-built agents see
+/// bit-identical randomness under either engine.
+fn build_flows(spec: &RunSpec, rng: &SimRng, registry: &AgentRegistry) -> Vec<Flow> {
+    spec.loads
+        .iter()
+        .enumerate()
+        .map(|(i, load)| {
+            let core = CoreId::from_index(i);
+            match load {
+                CoreLoad::FixedTask {
+                    n_requests,
+                    duration,
+                    gap,
+                } => Flow::Fixed(FixedRequestTask::new(core, *n_requests, *duration, *gap)),
+                CoreLoad::Saturating { duration } => Flow::Sat(Contender::new(core, *duration)),
+                CoreLoad::Periodic {
+                    duration,
+                    period,
+                    phase,
+                } => Flow::Per(PeriodicContender::new(core, *duration, *period, *phase)),
+                CoreLoad::Idle => Flow::Idle,
+                other => {
+                    let mut agent_rng = rng.fork(0xC0 + i as u64);
+                    let agent = registry
+                        .build(other, core, &spec.platform, &mut agent_rng)
+                        .unwrap_or_else(|why| {
+                            panic!("cannot build agent '{other}' for core {i}: {why}")
+                        });
+                    Flow::Agent(agent)
+                }
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Flat model: the de-virtualized non-split bus
+// ---------------------------------------------------------------------
+
+/// Grant latency statistics for core 0 (the only core the
+/// [`RunResult`] reports wait metrics for), mirroring
+/// [`cba_bus::WaitStats`]'s accounting.
+#[derive(Default)]
+struct WaitAgg {
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl WaitAgg {
+    fn record(&mut self, wait: u64) {
+        self.count += 1;
+        self.sum += wait;
+        self.max = self.max.max(wait);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The transaction currently holding the bus.
+#[derive(Clone, Copy)]
+struct InFlight {
+    core: CoreId,
+    kind: RequestKind,
+    started: Cycle,
+    ends_at: Cycle,
+}
+
+/// A data-plane replica of the non-split [`Bus`](cba_bus::Bus)'s cycle
+/// protocol: same arbitration order, same filter hook sequence, same
+/// statistics semantics — but with the policy, filter and counters held as
+/// plain fields so the limit-cycle detector can read (and the
+/// fast-forward can shift) the *complete* simulation state.
+struct FlatModel {
+    n_cores: usize,
+    max_latency: u32,
+    pending: PendingSet,
+    scratch: Vec<Candidate>,
+    policy: Box<dyn ArbitrationPolicy>,
+    filter: Option<CreditFilter>,
+    rng: Box<dyn RandomSource>,
+    state: Option<InFlight>,
+    slots: Vec<u64>,
+    busy: Vec<u64>,
+    idle: u64,
+    /// Full grant trace, recording runs only (fast-forward is disabled for
+    /// those: gap/burst metrics need every grant instant).
+    trace: Option<GrantTrace>,
+    wait0: WaitAgg,
+    last_granted: Option<usize>,
+}
+
+impl FlatModel {
+    fn new(spec: &RunSpec, rng: &SimRng) -> Self {
+        let platform = &spec.platform;
+        let n = platform.n_cores;
+        let maxl = platform.latency.max_latency();
+        let filter = platform.cba.as_ref().map(|credit| {
+            let mode = if spec.wcet_mode {
+                Mode::WcetEstimation {
+                    tua: CoreId::from_index(0),
+                }
+            } else {
+                Mode::Operation
+            };
+            CreditFilter::with_mode(credit.clone(), mode)
+        });
+        let random: Box<dyn RandomSource> = if platform.lfsr_randbank {
+            let bank_seed = rng.fork(0xA9).next_u64();
+            Box::new(LfsrBank::new(16, bank_seed).expect("valid width"))
+        } else {
+            Box::new(rng.fork(0xA9))
+        };
+        FlatModel {
+            n_cores: n,
+            max_latency: maxl,
+            pending: PendingSet::new(n),
+            scratch: Vec::with_capacity(n),
+            policy: platform.policy.build(n, maxl),
+            filter,
+            rng: random,
+            state: None,
+            slots: vec![0; n],
+            busy: vec![0; n],
+            idle: 0,
+            trace: spec.record_trace.then(|| GrantTrace::recording(n)),
+            wait0: WaitAgg::default(),
+            last_granted: None,
+        }
+    }
+
+    fn owner(&self) -> Option<CoreId> {
+        self.state.map(|f| f.core)
+    }
+
+    /// Phase 1: a transaction ending at `now` completes.
+    fn begin_cycle(&mut self, now: Cycle) -> Option<CompletedTransaction> {
+        if let Some(f) = self.state {
+            if now >= f.ends_at {
+                self.state = None;
+                return Some(CompletedTransaction {
+                    core: f.core,
+                    kind: f.kind,
+                    duration: (f.ends_at - f.started) as u32,
+                });
+            }
+        }
+        None
+    }
+
+    /// Phase 3: arbitration (if free) and filter bookkeeping, replicating
+    /// `Bus::end_cycle` statement for statement.
+    fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+        let mut granted = None;
+        if self.state.is_none() {
+            self.pending.candidates_into(&mut self.scratch);
+            if let Some(f) = &self.filter {
+                let filter = f;
+                self.scratch.retain(|c| filter.is_eligible(c.core, now));
+            }
+            if let Some(winner) = self.policy.select(&self.scratch, now, self.rng.as_mut()) {
+                let req = self
+                    .pending
+                    .remove(winner)
+                    .expect("policy selected a core that is not pending");
+                self.grant(req, now);
+                self.policy.on_grant(winner, now);
+                granted = Some(winner);
+            }
+        }
+        let owner = self.owner();
+        if owner.is_none() {
+            self.idle += 1;
+        }
+        if let Some(f) = &mut self.filter {
+            f.tick(now, owner, &self.pending);
+        }
+        granted
+    }
+
+    fn grant(&mut self, req: BusRequest, now: Cycle) {
+        let core = req.core();
+        let i = core.index();
+        self.state = Some(InFlight {
+            core,
+            kind: req.kind(),
+            started: now,
+            ends_at: now + req.duration() as Cycle,
+        });
+        self.slots[i] += 1;
+        self.busy[i] += req.duration() as u64;
+        if let Some(t) = &mut self.trace {
+            t.record(now, core, req.duration());
+        }
+        if i == 0 {
+            self.wait0.record(now.saturating_sub(req.issued_at()));
+        }
+        if let Some(f) = &mut self.filter {
+            f.on_grant(core, req.duration(), now);
+        }
+        self.last_granted = Some(i);
+    }
+
+    /// The model's event horizon, replicating `Bus::next_event`: `None`
+    /// means "step per cycle".
+    fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        if let Some(f) = &self.state {
+            return Some(f.ends_at);
+        }
+        if self.pending.is_empty() {
+            return Some(Cycle::MAX);
+        }
+        self.pending.candidates_into(&mut self.scratch);
+        if let Some(f) = &self.filter {
+            let filter = f;
+            self.scratch.retain(|c| filter.is_eligible(c.core, now + 1));
+        }
+        if !self.scratch.is_empty() && self.policy.is_work_conserving() {
+            return Some(now + 1);
+        }
+        let flip = match self
+            .filter
+            .as_ref()
+            .map(|f| f.next_eligibility_flip(now, &self.pending))
+            .unwrap_or(FilterHorizon::Static)
+        {
+            FilterHorizon::Unknown => return None,
+            FilterHorizon::Static => Cycle::MAX,
+            FilterHorizon::At(t) => t,
+        };
+        let window = if self.scratch.is_empty() {
+            Cycle::MAX
+        } else {
+            self.policy.next_grant_at(&self.scratch, now)?
+        };
+        Some(flip.min(window))
+    }
+
+    /// Bulk-advances the uneventful cycles `from + 1 ..= to - 1`,
+    /// replicating `Bus::advance`.
+    fn advance(&mut self, from: Cycle, to: Cycle) {
+        let k = (to - from).saturating_sub(1);
+        if k == 0 {
+            return;
+        }
+        let owner = self.owner();
+        if owner.is_none() {
+            self.idle += k;
+        }
+        if let Some(f) = &mut self.filter {
+            f.advance(from + 1, k, owner, &self.pending);
+        }
+    }
+}
+
+impl RequestPort for FlatModel {
+    fn post(&mut self, req: BusRequest) -> Result<(), BusError> {
+        if req.core().index() >= self.n_cores {
+            return Err(BusError::UnknownCore(req.core()));
+        }
+        if req.duration() > self.max_latency {
+            return Err(BusError::DurationOutOfRange {
+                got: req.duration(),
+                max: self.max_latency,
+            });
+        }
+        self.pending.insert(req)
+    }
+
+    fn withdraw(&mut self, core: CoreId) -> Option<BusRequest> {
+        self.pending.remove(core)
+    }
+
+    fn can_accept(&self, core: CoreId) -> bool {
+        !self.pending.contains(core) && self.owner() != Some(core)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Limit-cycle fast-forward
+// ---------------------------------------------------------------------
+
+/// Absolute counters captured alongside a state signature; the deltas
+/// against a recurrence give the per-period increments.
+struct FfSnap {
+    at: Cycle,
+    idle: u64,
+    slots: Vec<u64>,
+    busy: Vec<u64>,
+    wait0_count: u64,
+    wait0_sum: u64,
+    /// Per-flow completed-request counters (fixed tasks only; 0 for the
+    /// other kinds).
+    completed: Vec<u64>,
+}
+
+/// Whether the spec's dynamics are closed over the signature state: every
+/// workload a known synthetic state machine, a policy with no RNG draws
+/// and no hidden state beyond the round-robin cursor, no probe or trace
+/// that needs individual grant instants.
+fn ff_eligible(spec: &RunSpec) -> bool {
+    if spec.platform.topology.is_some()
+        || spec.record_trace
+        || spec.windows.is_some()
+        || !matches!(
+            spec.platform.policy,
+            PolicyKind::RoundRobin | PolicyKind::Fifo | PolicyKind::FixedPriority
+        )
+    {
+        return false;
+    }
+    spec.loads.iter().all(|l| {
+        matches!(
+            l,
+            CoreLoad::FixedTask { .. }
+                | CoreLoad::Saturating { .. }
+                | CoreLoad::Periodic { .. }
+                | CoreLoad::Idle
+        )
+    })
+}
+
+/// The complete dynamic state of a flat run at the end of an executed
+/// cycle, with every absolute time taken relative to `now`. Two equal
+/// signatures mean the runs evolve identically from those instants on —
+/// monotone counters (completed requests, statistics) are deliberately
+/// excluded and handled via [`FfSnap`] deltas.
+fn signature(model: &FlatModel, flows: &[Flow], now: Cycle, sig: &mut Vec<u64>) {
+    let n = model.n_cores;
+    sig.clear();
+    sig.reserve(4 + 1 + 2 * n + 2 * n + 3 * flows.len());
+    match &model.state {
+        None => sig.extend([0u64, 0, 0, 0]),
+        Some(f) => sig.extend([
+            1,
+            f.core.index() as u64 + 1,
+            f.ends_at - now,
+            f.ends_at - f.started,
+        ]),
+    }
+    sig.push(model.last_granted.map(|i| i as u64 + 1).unwrap_or(0));
+    for core in CoreId::all(n) {
+        match model.pending.get(core) {
+            Some(r) => {
+                sig.push(r.duration() as u64 + 1);
+                sig.push(now - r.issued_at());
+            }
+            None => {
+                sig.push(0);
+                sig.push(0);
+            }
+        }
+    }
+    if let Some(f) = &model.filter {
+        for core in CoreId::all(n) {
+            sig.push(f.budget(core));
+            sig.push(f.comp(core) as u64);
+        }
+    }
+    for flow in flows {
+        match flow {
+            Flow::Fixed(t) => {
+                if t.done_at().is_some() {
+                    sig.extend([1, 2, 0]);
+                } else {
+                    match t.wake_at() {
+                        // Computing: the next post is an absolute time.
+                        Some(at) if at != Cycle::MAX => sig.extend([1, 0, at - now]),
+                        // Waiting on the bus: position captured by pending.
+                        _ => sig.extend([1, 1, 0]),
+                    }
+                }
+            }
+            Flow::Sat(_) => sig.extend([2, 0, 0]),
+            Flow::Per(p) => sig.extend([3, 0, p.wake_at().unwrap_or(Cycle::MAX) - now]),
+            Flow::Idle => sig.extend([4, 0, 0]),
+            Flow::Agent(_) => unreachable!("fast-forward is gated to synthetic loads"),
+        }
+    }
+}
+
+fn snap_of(model: &FlatModel, flows: &[Flow], now: Cycle) -> FfSnap {
+    FfSnap {
+        at: now,
+        idle: model.idle,
+        slots: model.slots.clone(),
+        busy: model.busy.clone(),
+        wait0_count: model.wait0.count,
+        wait0_sum: model.wait0.sum,
+        completed: flows
+            .iter()
+            .map(|f| match f {
+                Flow::Fixed(t) => t.completed(),
+                _ => 0,
+            })
+            .collect(),
+    }
+}
+
+/// Detects a recurrence of the run's state and, if one is found, applies
+/// as many whole periods as fit before `hard_limit` (and before any fixed
+/// task's **final** completion — that one must execute live so stop
+/// conditions and `done_at` are exact). Returns the cycles skipped.
+fn try_fast_forward(
+    model: &mut FlatModel,
+    flows: &mut [Flow],
+    spec: &RunSpec,
+    now: Cycle,
+    hard_limit: Cycle,
+    table: &mut HashMap<Vec<u64>, FfSnap>,
+    sig_buf: &mut Vec<u64>,
+) -> Option<Cycle> {
+    signature(model, flows, now, sig_buf);
+    let snap = match table.get(sig_buf.as_slice()) {
+        Some(snap) => snap,
+        None => {
+            if table.len() >= MAX_SIGNATURES {
+                table.clear();
+            }
+            table.insert(sig_buf.clone(), snap_of(model, flows, now));
+            return None;
+        }
+    };
+    let dt = now - snap.at;
+    debug_assert!(dt > 0, "signatures are recorded once per instant");
+    let mut m = hard_limit.saturating_sub(now) / dt;
+    for (i, load) in spec.loads.iter().enumerate() {
+        if let (CoreLoad::FixedTask { n_requests, .. }, Flow::Fixed(t)) = (load, &flows[i]) {
+            let dc = t.completed() - snap.completed[i];
+            let remaining = n_requests - t.completed();
+            if let Some(periods) = remaining.saturating_sub(1).checked_div(dc) {
+                m = m.min(periods);
+            }
+        }
+    }
+    if m == 0 {
+        return None;
+    }
+    let shift = m * dt;
+
+    // Counters jump by m periods' worth.
+    model.idle += m * (model.idle - snap.idle);
+    for i in 0..model.n_cores {
+        model.slots[i] += m * (model.slots[i] - snap.slots[i]);
+        model.busy[i] += m * (model.busy[i] - snap.busy[i]);
+    }
+    model.wait0.count += m * (model.wait0.count - snap.wait0_count);
+    model.wait0.sum += m * (model.wait0.sum - snap.wait0_sum);
+    // (wait0.max is unchanged: the periodic regime repeats the latencies
+    // already observed live in the detection period.)
+
+    // Absolute clocks shift by the skipped span.
+    if let Some(f) = &mut model.state {
+        f.started += shift;
+        f.ends_at += shift;
+    }
+    let shifted: Vec<BusRequest> = CoreId::all(model.n_cores)
+        .filter_map(|core| model.pending.remove(core))
+        .map(|r| {
+            BusRequest::new(r.core(), r.duration(), r.kind(), r.issued_at() + shift)
+                .expect("shifting a valid request keeps it valid")
+        })
+        .collect();
+    for req in shifted {
+        model
+            .pending
+            .insert(req)
+            .expect("re-inserting into the slots just vacated");
+    }
+    for (i, flow) in flows.iter_mut().enumerate() {
+        match flow {
+            Flow::Fixed(t) => {
+                let dc = t.completed() - snap.completed[i];
+                t.shift_time(shift);
+                if dc > 0 {
+                    t.absorb_completions(m * dc);
+                }
+            }
+            Flow::Per(p) => p.shift_time(shift),
+            _ => {}
+        }
+    }
+    // The filter's credit counters and COMP latches are time-invariant
+    // state machines: equal signatures already imply equal filter state,
+    // so the jump leaves them untouched. Old snapshots reference the
+    // pre-jump timeline; drop them.
+    table.clear();
+    Some(shift)
+}
+
+// ---------------------------------------------------------------------
+// Drive loops
+// ---------------------------------------------------------------------
+
+/// The flat-path drive loop: the events engine's sparse cycle walk (same
+/// ordering of completion delivery, client ticks, arbitration and stop
+/// checks as [`sim_core::Simulation::run`]) plus the limit-cycle
+/// fast-forward at completion instants.
+fn run_flat(spec: &RunSpec, rng: &SimRng, registry: &AgentRegistry) -> RunResult {
+    let n = spec.platform.n_cores;
+    let mut model = FlatModel::new(spec, rng);
+    let mut flows = build_flows(spec, rng, registry);
+    let active: Vec<usize> = (0..flows.len()).filter(|&i| !flows[i].is_inert()).collect();
+    let horizon = match spec.stop {
+        StopCondition::Horizon(h) => Some(h),
+        _ => None,
+    };
+    let limit = spec.max_cycles;
+    let mut probe = spec.windows.map(|w| {
+        let h = horizon.expect("validated: windows require a horizon stop");
+        WindowedFairnessProbe::new(n, h / w as Cycle, w as usize)
+    });
+    let ff = ff_eligible(spec);
+    // Sample the state once per "lap": signatures are only taken at
+    // completions of one reference core (the first that ever completes),
+    // which detects the same limit cycles at a fraction of the hashing
+    // cost of checking every completion.
+    let ff_core = spec
+        .loads
+        .iter()
+        .position(|l| !matches!(l, CoreLoad::Idle))
+        .unwrap_or(usize::MAX);
+    // Fast-forward may land *on* any cycle except the stop-firing one
+    // (horizon h stops at cycle h - 1, which must execute live).
+    let hard_limit = horizon
+        .map(|h| h.saturating_sub(2))
+        .unwrap_or(Cycle::MAX)
+        .min(limit.saturating_sub(1));
+    let mut table: HashMap<Vec<u64>, FfSnap> = HashMap::new();
+    let mut sig_buf: Vec<u64> = Vec::new();
+
+    let mut now: Cycle = 0;
+    let mut prev: Option<Cycle> = None;
+    let mut stopped = false;
+    while now < limit {
+        let completed = model.begin_cycle(now);
+        if let (Some(p), Some(ct)) = (probe.as_mut(), completed.as_ref()) {
+            p.on_completion(now, ct);
+        }
+        if let Some(prev) = prev {
+            let skipped = now - prev - 1;
+            if skipped > 0 {
+                for &i in &active {
+                    flows[i].absorb(skipped);
+                }
+            }
+        }
+        prev = Some(now);
+        let mut agent_stop = false;
+        let mut until = Cycle::MAX;
+        let mut can_sleep = true;
+        for &i in &active {
+            match flows[i].tick(now, completed.as_ref(), &mut model) {
+                Control::Stop => agent_stop = true,
+                Control::Continue => can_sleep = false,
+                Control::Sleep(t) => until = until.min(t),
+            }
+        }
+        let granted = model.end_cycle(now);
+        if let (Some(p), Some(core)) = (probe.as_mut(), granted) {
+            p.on_grant(now, core);
+        }
+        let stop = agent_stop
+            || match spec.stop {
+                StopCondition::TuaDone => flows[0].is_done(),
+                StopCondition::AllDone => active.iter().all(|&i| flows[i].is_done()),
+                StopCondition::Horizon(h) => now + 1 >= h,
+            };
+        if stop {
+            now += 1;
+            stopped = true;
+            break;
+        }
+        if ff && completed.as_ref().map(|c| c.core.index()) == Some(ff_core) {
+            if let Some(shift) = try_fast_forward(
+                &mut model,
+                &mut flows,
+                spec,
+                now,
+                hard_limit,
+                &mut table,
+                &mut sig_buf,
+            ) {
+                now += shift;
+                prev = Some(now);
+                // The pre-jump sleep horizons are stale; recompute from
+                // the shifted flows (all synthetic, hence all `Sleep`).
+                until = Cycle::MAX;
+                for &i in &active {
+                    until = until.min(flows[i].wake_at().unwrap_or(Cycle::MAX));
+                }
+            }
+        }
+        if let Some(h) = horizon {
+            until = until.min(h - 1);
+        }
+        if can_sleep && until > now + 1 {
+            if let Some(event) = model.next_event(now) {
+                let jump = event.min(until).min(limit);
+                if jump > now + 1 {
+                    model.advance(now, jump);
+                    now = jump;
+                    continue;
+                }
+            }
+        }
+        now += 1;
+    }
+    if let Some(prev) = prev {
+        let tail = (now - 1).saturating_sub(prev);
+        if tail > 0 {
+            for &i in &active {
+                flows[i].absorb(tail);
+            }
+        }
+    }
+    if let Some(p) = probe.as_mut() {
+        p.on_finish(now);
+    }
+
+    let ids: Vec<CoreId> = (0..n).map(CoreId::from_index).collect();
+    RunResult {
+        tua_cycles: flows[0].done_at(),
+        finished: stopped,
+        total_cycles: now,
+        bus_slots: model.slots.clone(),
+        bus_busy: model.busy.clone(),
+        bus_idle: model.idle,
+        tua_mean_wait: model.wait0.mean(),
+        tua_max_wait: model.wait0.max,
+        max_grant_gap: match &model.trace {
+            Some(t) => ids.iter().map(|&c| t.max_grant_gap(c)).collect(),
+            None => vec![None; n],
+        },
+        max_burst: match &model.trace {
+            Some(t) => ids.iter().map(|&c| t.max_burst_len(c)).collect(),
+            None => vec![None; n],
+        },
+        windows: probe.map(|p| p.snapshot()),
+    }
+}
+
+/// The fabric-path drive loop: the same sparse walk over the *real*
+/// [`Fabric`] via its [`BusModel`] protocol — per-segment continuous
+/// composition happens inside the fabric's own event horizon
+/// (`next_event` spans cluster, bridge and backbone clocks).
+fn run_fabric_fluid(
+    spec: &RunSpec,
+    mut fabric: Fabric,
+    rng: &SimRng,
+    registry: &AgentRegistry,
+) -> RunResult {
+    let n = spec.platform.n_cores;
+    let mut flows = build_flows(spec, rng, registry);
+    let active: Vec<usize> = (0..flows.len()).filter(|&i| !flows[i].is_inert()).collect();
+    let horizon = match spec.stop {
+        StopCondition::Horizon(h) => Some(h),
+        _ => None,
+    };
+    let limit = spec.max_cycles;
+    let mut probe = spec.windows.map(|w| {
+        let h = horizon.expect("validated: windows require a horizon stop");
+        WindowedFairnessProbe::new(n, h / w as Cycle, w as usize)
+    });
+
+    let mut now: Cycle = 0;
+    let mut prev: Option<Cycle> = None;
+    let mut stopped = false;
+    while now < limit {
+        let completed = BusModel::begin_cycle(&mut fabric, now);
+        if let (Some(p), Some(ct)) = (probe.as_mut(), completed.as_ref()) {
+            p.on_completion(now, ct);
+        }
+        if let Some(prev) = prev {
+            let skipped = now - prev - 1;
+            if skipped > 0 {
+                for &i in &active {
+                    flows[i].absorb(skipped);
+                }
+            }
+        }
+        prev = Some(now);
+        let mut agent_stop = false;
+        let mut until = Cycle::MAX;
+        let mut can_sleep = true;
+        for &i in &active {
+            match flows[i].tick(now, completed.as_ref(), &mut fabric) {
+                Control::Stop => agent_stop = true,
+                Control::Continue => can_sleep = false,
+                Control::Sleep(t) => until = until.min(t),
+            }
+        }
+        let granted = BusModel::end_cycle(&mut fabric, now);
+        if let (Some(p), Some(core)) = (probe.as_mut(), granted) {
+            p.on_grant(now, core);
+        }
+        let stop = agent_stop
+            || match spec.stop {
+                StopCondition::TuaDone => flows[0].is_done(),
+                StopCondition::AllDone => active.iter().all(|&i| flows[i].is_done()),
+                StopCondition::Horizon(h) => now + 1 >= h,
+            };
+        if stop {
+            now += 1;
+            stopped = true;
+            break;
+        }
+        if let Some(h) = horizon {
+            until = until.min(h - 1);
+        }
+        if can_sleep && until > now + 1 {
+            if let Some(event) = BusModel::next_event(&mut fabric, now) {
+                let jump = event.min(until).min(limit);
+                if jump > now + 1 {
+                    BusModel::advance(&mut fabric, now, jump);
+                    now = jump;
+                    continue;
+                }
+            }
+        }
+        now += 1;
+    }
+    if let Some(prev) = prev {
+        let tail = (now - 1).saturating_sub(prev);
+        if tail > 0 {
+            for &i in &active {
+                flows[i].absorb(tail);
+            }
+        }
+    }
+    if let Some(p) = probe.as_mut() {
+        p.on_finish(now);
+    }
+
+    let ids: Vec<CoreId> = (0..n).map(CoreId::from_index).collect();
+    let trace = BusModel::trace(&fabric);
+    let c0 = CoreId::from_index(0);
+    let stats = fabric.local_wait_stats(c0);
+    let local = fabric.local_id(c0);
+    RunResult {
+        tua_cycles: flows[0].done_at(),
+        finished: stopped,
+        total_cycles: now,
+        bus_slots: ids.iter().map(|&c| trace.slots(c)).collect(),
+        bus_busy: ids.iter().map(|&c| trace.busy_cycles(c)).collect(),
+        bus_idle: fabric.idle_cycles(),
+        tua_mean_wait: stats.mean_wait(local),
+        tua_max_wait: stats.max_wait(local),
+        max_grant_gap: ids.iter().map(|&c| trace.max_grant_gap(c)).collect(),
+        max_burst: ids.iter().map(|&c| trace.max_burst_len(c)).collect(),
+        windows: probe.map(|p| p.snapshot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::platform::{run_once, CoreLoad, DriveMode, RunSpec, Scenario, StopCondition};
+    use crate::BusSetup;
+
+    fn both(spec: &RunSpec, seed: u64) -> (crate::RunResult, crate::RunResult) {
+        let mut events = spec.clone();
+        events.drive = DriveMode::Events;
+        let mut fluid = spec.clone();
+        fluid.drive = DriveMode::Fluid;
+        (run_once(&events, seed), run_once(&fluid, seed))
+    }
+
+    #[test]
+    fn fluid_matches_events_on_paper_cells() {
+        for setup in [BusSetup::Rp, BusSetup::Cba, BusSetup::HCba] {
+            let spec = RunSpec::paper(
+                setup.clone(),
+                Scenario::MaxContention,
+                CoreLoad::FixedTask {
+                    n_requests: 200,
+                    duration: 6,
+                    gap: 4,
+                },
+            );
+            let (e, f) = both(&spec, 7);
+            assert_eq!(e, f, "{setup:?}");
+        }
+    }
+
+    #[test]
+    fn fluid_matches_events_with_fast_forward_active() {
+        // RR + fixed/sat loads: the fast-forward eligible shape.
+        let rr = BusSetup::Custom {
+            policy: cba_bus::PolicyKind::RoundRobin,
+            cba: None,
+        };
+        let mut spec = RunSpec::paper(
+            rr,
+            Scenario::Custom(vec![
+                CoreLoad::Saturating { duration: 28 },
+                CoreLoad::Saturating { duration: 56 },
+                CoreLoad::Periodic {
+                    duration: 8,
+                    period: 100,
+                    phase: 13,
+                },
+            ]),
+            CoreLoad::FixedTask {
+                n_requests: 500,
+                duration: 6,
+                gap: 0,
+            },
+        );
+        spec.wcet_mode = false;
+        let (e, f) = both(&spec, 3);
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn fluid_matches_events_on_horizon_and_windows() {
+        let mut spec = RunSpec::paper(
+            BusSetup::Cba,
+            Scenario::MaxContention,
+            CoreLoad::FixedTask {
+                n_requests: 1,
+                duration: 5,
+                gap: 0,
+            },
+        );
+        spec.loads[0] = CoreLoad::Saturating { duration: 5 };
+        spec.wcet_mode = false;
+        spec.stop = StopCondition::Horizon(24_000);
+        spec.windows = Some(8);
+        let (e, f) = both(&spec, 11);
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn fluid_matches_events_on_recording_runs() {
+        let mut spec = RunSpec::paper(
+            BusSetup::Cba,
+            Scenario::MaxContention,
+            CoreLoad::named("matrix"),
+        );
+        spec.record_trace = true;
+        let (e, f) = both(&spec, 5);
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn fluid_matches_events_on_a_fabric() {
+        use crate::config::{FabricTopology, PlatformConfig};
+        let topo = FabricTopology {
+            clusters: 4,
+            cores_per_cluster: 4,
+            bridge_latency: 4,
+            bridge_depth: 2,
+            cluster_policy: cba_bus::PolicyKind::RoundRobin,
+            cluster_cba: None,
+            backbone_policy: cba_bus::PolicyKind::RoundRobin,
+            backbone_cba: None,
+        };
+        let mut platform = PlatformConfig::paper(&BusSetup::Rp);
+        platform.n_cores = 16;
+        platform.cba = None;
+        platform.topology = Some(topo);
+        let mut spec = RunSpec::with_platform(
+            platform,
+            Scenario::Custom(vec![CoreLoad::Saturating { duration: 28 }; 15]),
+            CoreLoad::Saturating { duration: 28 },
+        );
+        spec.wcet_mode = false;
+        spec.stop = StopCondition::Horizon(50_000);
+        let (e, f) = both(&spec, 2);
+        assert_eq!(e, f);
+    }
+}

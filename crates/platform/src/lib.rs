@@ -7,6 +7,7 @@ pub mod campaign;
 pub mod config;
 pub mod executor;
 pub mod experiments;
+pub mod fluid;
 pub mod platform;
 pub mod probes;
 pub mod report;

@@ -187,15 +187,23 @@ pub enum DriveMode {
     /// cycle. Selectable per scenario (`engine = naive`) or via
     /// `cba_sim --engine naive`.
     Naive,
+    /// The continuous-event executor ([`crate::fluid`]): grants and
+    /// completions as a sparse event stream over a de-virtualized model,
+    /// with limit-cycle fast-forward on flat synthetic runs. Selectable
+    /// per scenario (`engine = fluid`) or via `cba_sim --engine fluid`;
+    /// cross-validated against the events engine by the workspace's
+    /// accuracy and differential test suites.
+    Fluid,
 }
 
 /// Renders as the scenario `engine` key's vocabulary (`events`,
-/// `naive`).
+/// `naive`, `fluid`).
 impl fmt::Display for DriveMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             DriveMode::Events => "events",
             DriveMode::Naive => "naive",
+            DriveMode::Fluid => "fluid",
         })
     }
 }
@@ -532,6 +540,9 @@ pub fn run_once_with(spec: &RunSpec, seed: u64, registry: &AgentRegistry) -> Run
     if let Err(why) = spec.validate() {
         panic!("invalid run spec: {why}");
     }
+    if spec.drive == DriveMode::Fluid {
+        return crate::fluid::run_fluid(spec, seed, registry);
+    }
     let rng = SimRng::seed_from(seed);
     match &spec.platform.topology {
         None => execute(build_bus(spec, &rng), spec, &rng, registry),
@@ -576,7 +587,7 @@ fn build_bus(spec: &RunSpec, rng: &SimRng) -> Bus {
 /// `WcetEstimation` mode; every other segment arbitrates in operation
 /// mode — contenders on remote clusters never share the TuA's segment, so
 /// the COMP gating applies exactly where the TuA competes.
-fn build_fabric(spec: &RunSpec, topo: &FabricTopology, rng: &SimRng) -> Fabric {
+pub(crate) fn build_fabric(spec: &RunSpec, topo: &FabricTopology, rng: &SimRng) -> Fabric {
     let maxl = spec.platform.latency.max_latency();
     let config = FabricConfig::new(
         topo.clusters,
@@ -673,6 +684,7 @@ fn execute<M: SimModel + 'static>(
         .engine(match spec.drive {
             DriveMode::Events => Engine::Events,
             DriveMode::Naive => Engine::Naive,
+            DriveMode::Fluid => unreachable!("fluid runs dispatch to crate::fluid::run_fluid"),
         })
         .max_cycles(spec.max_cycles);
     match spec.windows {

@@ -1,0 +1,601 @@
+//! Continuous-time fluid approximation of a fairly shared bus.
+//!
+//! The cycle-accurate engines ([`drive`](crate::drive),
+//! [`drive_events`](crate::drive_events)) serialize transactions: one
+//! owner at a time, every grant an explicit event. The *fluid* model
+//! instead treats outstanding requests as intervals of work drained
+//! concurrently from a continuously shared resource — the classic
+//! (weighted) processor-sharing idealization that the explicit-rate
+//! fairness literature analyzes, and the limit the paper's credit-based
+//! arbitration is designed to approach over long windows.
+//!
+//! [`FluidLane`] is the kernel: a set of flows, each with a remaining
+//! amount of work and a weight, served simultaneously at rates
+//! proportional to their weights. It runs on *virtual time* with an event
+//! heap keyed by projected finish tag, so insert and complete are both
+//! O(log n) and every arrival/departure rescales all shares implicitly —
+//! no per-flow bookkeeping is touched when the active set changes.
+//!
+//! [`FluidBus`] adapts a lane to the [`BusModel`] protocol so the
+//! [`Simulation`](crate::sim::Simulation) facade can drive it (see
+//! [`Engine::Fluid`](crate::sim::Engine)): posted requests become flows,
+//! completions are delivered on the cycle their fluid finish time rounds
+//! up to, and the usual [`GrantTrace`] accounting is kept so result
+//! extraction works unchanged.
+//!
+//! # Virtual time, briefly
+//!
+//! Let `W(t)` be the total weight of active flows. Virtual time advances
+//! at rate `capacity / W(t)`; a flow arriving at real time `t` with work
+//! `L` and weight `w` is assigned the finish tag `F = V(t) + L / w`.
+//! Tags never change after assignment — arrivals and departures only
+//! change the *rate* at which `V` progresses — so a binary heap on `F`
+//! yields completions in order, and the real completion time of the head
+//! is recovered by inverting the same rate relation.
+
+use crate::engine::BusModel;
+use crate::trace::GrantTrace;
+use crate::{CoreId, Cycle};
+use std::collections::BinaryHeap;
+
+/// One flow's identity and projected finish, ordered for the event heap
+/// (min-heap by finish tag; ties broken by insertion sequence so equal
+/// tags complete in arrival order, matching the discrete engines' FIFO
+/// tie-break).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    /// Projected finish in virtual time.
+    finish_tag: f64,
+    /// Arrival sequence number (tie-break).
+    seq: u64,
+    /// Caller-chosen flow identifier.
+    id: u64,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest tag.
+        other
+            .finish_tag
+            .total_cmp(&self.finish_tag)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A continuously shared resource draining weighted flows concurrently
+/// (weighted processor sharing / generalized max-min fairness).
+///
+/// Work and time are `f64`; the caller chooses the units (the bus models
+/// use cycles of bus occupancy). See the [module docs](self) for the
+/// virtual-time construction.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::fluid::FluidLane;
+///
+/// let mut lane = FluidLane::new(1.0);
+/// lane.insert(0, 100.0, 1.0, 0.0);
+/// lane.insert(1, 100.0, 1.0, 0.0);
+/// // Two equal flows share the lane: each proceeds at rate 1/2 and both
+/// // finish at t = 200.
+/// let (t0, id0) = lane.complete_next().unwrap();
+/// let (t1, _) = lane.complete_next().unwrap();
+/// assert_eq!(id0, 0);
+/// assert!((t0 - 200.0).abs() < 1e-9 && (t1 - 200.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FluidLane {
+    capacity: f64,
+    /// Virtual time at `real_time`.
+    virtual_time: f64,
+    /// Real time of the last virtual-time update.
+    real_time: f64,
+    /// Total weight of active flows.
+    total_weight: f64,
+    /// Per-flow weight, summed back out at completion (keyed lazily via
+    /// the heap entries; the lane never scans flows).
+    heap: BinaryHeap<HeapEntry>,
+    weights: Vec<(u64, f64)>,
+    next_seq: u64,
+}
+
+impl FluidLane {
+    /// Creates an empty lane serving `capacity` units of work per unit of
+    /// time (a bus serves 1 cycle of occupancy per cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is finite and positive.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
+        FluidLane {
+            capacity,
+            virtual_time: 0.0,
+            real_time: 0.0,
+            total_weight: 0.0,
+            heap: BinaryHeap::new(),
+            weights: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The lane's current real-time clock.
+    pub fn now(&self) -> f64 {
+        self.real_time
+    }
+
+    /// Whether no flow is active.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The instantaneous service rate of a flow with weight `weight`
+    /// (its fair share of capacity right now).
+    pub fn rate_of(&self, weight: f64) -> f64 {
+        if self.total_weight <= 0.0 {
+            self.capacity
+        } else {
+            self.capacity * weight / self.total_weight
+        }
+    }
+
+    /// Advances the lane's clock to real time `now` (virtual time moves
+    /// at `capacity / total_weight`). Callers must not move time past the
+    /// head flow's completion — use [`next_completion_time`] /
+    /// [`complete_next`] to step across completions.
+    ///
+    /// [`next_completion_time`]: FluidLane::next_completion_time
+    /// [`complete_next`]: FluidLane::complete_next
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is in the past.
+    pub fn advance_to(&mut self, now: f64) {
+        assert!(now >= self.real_time, "time must not run backwards");
+        if self.total_weight > 0.0 {
+            self.virtual_time += (now - self.real_time) * self.capacity / self.total_weight;
+        }
+        self.real_time = now;
+    }
+
+    /// Inserts a flow of `work` units with `weight`, arriving at real
+    /// time `now`; every active flow's share rescales implicitly. O(log n).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `work` and `weight` are finite and positive, and
+    /// `now` does not precede the lane clock or the pending head
+    /// completion (arrivals must be interleaved with
+    /// [`complete_next`](FluidLane::complete_next) in time order).
+    pub fn insert(&mut self, id: u64, work: f64, weight: f64, now: f64) {
+        assert!(work.is_finite() && work > 0.0, "work must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
+        if let Some(head) = self.next_completion_time() {
+            assert!(
+                now <= head + 1e-9,
+                "arrival at {now} is past the head completion at {head}"
+            );
+        }
+        self.advance_to(now);
+        let entry = HeapEntry {
+            finish_tag: self.virtual_time + work / weight,
+            seq: self.next_seq,
+            id,
+        };
+        self.next_seq += 1;
+        self.total_weight += weight;
+        self.heap.push(entry);
+        self.weights.push((entry.seq, weight));
+    }
+
+    /// Real time at which the earliest-finishing active flow completes,
+    /// if any flow is active.
+    pub fn next_completion_time(&self) -> Option<f64> {
+        let head = self.heap.peek()?;
+        let remaining_virtual = (head.finish_tag - self.virtual_time).max(0.0);
+        Some(self.real_time + remaining_virtual * self.total_weight / self.capacity)
+    }
+
+    /// Completes the earliest-finishing flow: advances the clock to its
+    /// finish time, removes it (rescaling the remaining shares) and
+    /// returns `(completion_time, id)`. O(log n).
+    pub fn complete_next(&mut self) -> Option<(f64, u64)> {
+        let at = self.next_completion_time()?;
+        self.advance_to(at);
+        let head = self.heap.pop().expect("head exists");
+        self.virtual_time = self.virtual_time.max(head.finish_tag);
+        let slot = self
+            .weights
+            .iter()
+            .position(|&(seq, _)| seq == head.seq)
+            .expect("active flow has a weight");
+        let (_, weight) = self.weights.swap_remove(slot);
+        self.total_weight -= weight;
+        if self.heap.is_empty() {
+            // Reset accumulated float error between busy periods.
+            self.total_weight = 0.0;
+        }
+        Some((at, head.id))
+    }
+}
+
+/// Request type of [`FluidBus`]: `work` cycles of bus occupancy for
+/// `core`, served at a rate proportional to the core's weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FluidRequest {
+    /// The requesting core.
+    pub core: CoreId,
+    /// Bus occupancy in cycles.
+    pub work: u32,
+}
+
+/// Completion report of [`FluidBus`]: which core finished, and when its
+/// fluid service ended (the cycle the report is delivered on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FluidCompletion {
+    /// Core whose request finished.
+    pub core: CoreId,
+    /// Delivery cycle.
+    pub at: Cycle,
+}
+
+/// A [`BusModel`] serving all posted requests *concurrently* at
+/// weight-proportional rates — the fluid idealization of a fair bus.
+///
+/// Unlike the discrete bus there is no arbitration and no single owner:
+/// `end_cycle` never grants, completions surface from `begin_cycle` on
+/// the cycle their fluid finish time rounds up to (at most one per cycle,
+/// earliest first, so the standard one-completion-per-cycle engine
+/// contract holds). The [`GrantTrace`] is fed at completion time with the
+/// request's nominal work, keeping share extraction identical to the
+/// discrete engines.
+#[derive(Debug)]
+pub struct FluidBus {
+    lane: FluidLane,
+    weights: Vec<f64>,
+    trace: GrantTrace,
+    /// Completions whose fluid finish time has been computed, awaiting
+    /// cycle-aligned delivery (ordered; front is earliest).
+    ready: std::collections::VecDeque<(Cycle, CoreId, u32)>,
+    /// Work posted per flow id (id = sequential), for trace accounting.
+    in_flight: Vec<(u64, CoreId, u32)>,
+    next_id: u64,
+}
+
+impl FluidBus {
+    /// Creates a fluid bus for `n_cores` cores with equal unit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores == 0` or exceeds [`CoreId::MAX_CORES`].
+    pub fn new(n_cores: usize) -> Self {
+        Self::weighted(vec![1.0; n_cores])
+    }
+
+    /// Creates a fluid bus with one weight per core (H-CBA-style
+    /// differentiated shares).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, longer than [`CoreId::MAX_CORES`],
+    /// or contains a non-positive or non-finite weight.
+    pub fn weighted(weights: Vec<f64>) -> Self {
+        assert!(
+            !weights.is_empty() && weights.len() <= CoreId::MAX_CORES,
+            "1..={} cores required",
+            CoreId::MAX_CORES
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive"
+        );
+        let n = weights.len();
+        FluidBus {
+            lane: FluidLane::new(1.0),
+            weights,
+            trace: GrantTrace::counting(n),
+            ready: std::collections::VecDeque::new(),
+            in_flight: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The underlying lane (e.g. to inspect instantaneous rates).
+    pub fn lane(&self) -> &FluidLane {
+        &self.lane
+    }
+
+    /// Moves every lane completion that happens strictly before the end
+    /// of cycle `now` into the cycle-aligned delivery queue.
+    fn harvest(&mut self, now: Cycle) {
+        while let Some(t) = self.lane.next_completion_time() {
+            // A completion at fluid time t is deliverable on the first
+            // cycle >= t; stop once the head finishes past this cycle.
+            if t > now as f64 + 1e-9 {
+                break;
+            }
+            let (t, id) = self.lane.complete_next().expect("head exists");
+            let slot = self
+                .in_flight
+                .iter()
+                .position(|&(fid, _, _)| fid == id)
+                .expect("in-flight flow");
+            let (_, core, work) = self.in_flight.swap_remove(slot);
+            let deliver_at = (t.ceil() as Cycle).max(now);
+            self.ready.push_back((deliver_at, core, work));
+        }
+    }
+}
+
+impl BusModel for FluidBus {
+    type Request = FluidRequest;
+    type Completion = FluidCompletion;
+    type Error = crate::SimError;
+
+    fn begin_cycle(&mut self, now: Cycle) -> Option<FluidCompletion> {
+        self.harvest(now);
+        if let Some(&(at, core, work)) = self.ready.front() {
+            if at <= now {
+                self.ready.pop_front();
+                // Attribute the nominal work at completion (the fluid
+                // model has no grant instant).
+                self.trace.record(now, core, work);
+                return Some(FluidCompletion { core, at: now });
+            }
+        }
+        None
+    }
+
+    fn post(&mut self, req: FluidRequest) -> Result<(), crate::SimError> {
+        if req.work == 0 {
+            return Err(crate::SimError::InvalidConfig {
+                what: "fluid request",
+                why: "work must be positive".into(),
+            });
+        }
+        let core = req.core.index();
+        if core >= self.weights.len() {
+            return Err(crate::SimError::InvalidConfig {
+                what: "fluid request",
+                why: format!("core {core} outside the {}-core bus", self.weights.len()),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        // Service starts at the lane clock, which end_cycle/advance keep
+        // synced to the cycle being executed.
+        let at = self.lane.now();
+        self.lane
+            .insert(id, req.work as f64, self.weights[core], at);
+        self.in_flight.push((id, req.core, req.work));
+        Ok(())
+    }
+
+    fn end_cycle(&mut self, now: Cycle) -> Option<CoreId> {
+        // Continuous sharing: no grant instants. Sync the lane clock so
+        // posts next cycle arrive at the right time (never moving past
+        // the head completion, which harvest steps across).
+        let target = self
+            .lane
+            .next_completion_time()
+            .map_or((now + 1) as f64, |t| t.min((now + 1) as f64));
+        if target > self.lane.now() {
+            self.lane.advance_to(target);
+        }
+        None
+    }
+
+    fn owner(&self) -> Option<CoreId> {
+        None
+    }
+
+    fn trace(&self) -> &GrantTrace {
+        &self.trace
+    }
+
+    fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        if let Some(&(at, _, _)) = self.ready.front() {
+            return Some(at.max(now + 1));
+        }
+        match self.lane.next_completion_time() {
+            Some(t) => Some((t.ceil() as Cycle).max(now + 1)),
+            None => Some(Cycle::MAX),
+        }
+    }
+
+    fn advance(&mut self, _from: Cycle, to: Cycle) {
+        // No per-cycle state: just move the clock (never past the head
+        // completion; the engine's jump target respects next_event).
+        let target = self
+            .lane
+            .next_completion_time()
+            .map_or(to as f64, |t| t.min(to as f64));
+        if target > self.lane.real_time {
+            self.lane.advance_to(target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut lane = FluidLane::new(1.0);
+        lane.insert(7, 56.0, 1.0, 10.0);
+        assert_eq!(lane.active(), 1);
+        let (t, id) = lane.complete_next().unwrap();
+        assert_eq!(id, 7);
+        assert!((t - 66.0).abs() < 1e-9);
+        assert!(lane.is_empty());
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let mut lane = FluidLane::new(1.0);
+        lane.insert(0, 100.0, 1.0, 0.0);
+        lane.insert(1, 100.0, 1.0, 0.0);
+        let (t0, _) = lane.complete_next().unwrap();
+        let (t1, _) = lane.complete_next().unwrap();
+        assert!((t0 - 200.0).abs() < 1e-9);
+        assert!((t1 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_scale_shares() {
+        // Weight 3 vs 1: the heavy flow drains at 3/4 capacity.
+        let mut lane = FluidLane::new(1.0);
+        lane.insert(0, 300.0, 3.0, 0.0);
+        lane.insert(1, 100.0, 1.0, 0.0);
+        // Both have finish tag V + 100, so they tie; arrival order breaks
+        // the tie and both complete at t = 400.
+        let (t0, id0) = lane.complete_next().unwrap();
+        assert_eq!(id0, 0);
+        assert!((t0 - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_rescales_rates() {
+        // Flow 0 runs alone for 50, then shares with flow 1: remaining 50
+        // units of flow 0 drain at rate 1/2 -> finishes at 150.
+        let mut lane = FluidLane::new(1.0);
+        lane.insert(0, 100.0, 1.0, 0.0);
+        lane.advance_to(50.0);
+        lane.insert(1, 100.0, 1.0, 50.0);
+        let (t0, id0) = lane.complete_next().unwrap();
+        assert_eq!(id0, 0);
+        assert!((t0 - 150.0).abs() < 1e-9);
+        // Flow 1 then runs alone: 50 remaining at rate 1 -> 200.
+        let (t1, id1) = lane.complete_next().unwrap();
+        assert_eq!(id1, 1);
+        assert!((t1 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_scales_time() {
+        let mut lane = FluidLane::new(2.0);
+        lane.insert(0, 100.0, 1.0, 0.0);
+        let (t, _) = lane.complete_next().unwrap();
+        assert!((t - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_weight_rejected() {
+        let mut lane = FluidLane::new(1.0);
+        lane.insert(0, 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn fluid_bus_serves_concurrently() {
+        let mut bus = FluidBus::new(2);
+        bus.post(FluidRequest {
+            core: CoreId::from_index(0),
+            work: 10,
+        })
+        .unwrap();
+        bus.post(FluidRequest {
+            core: CoreId::from_index(1),
+            work: 10,
+        })
+        .unwrap();
+        let mut completions = Vec::new();
+        for now in 0..64 {
+            if let Some(c) = bus.begin_cycle(now) {
+                completions.push((c.core.index(), c.at));
+            }
+            bus.end_cycle(now);
+        }
+        // Both share the bus: each runs at rate 1/2, both finish at t=20,
+        // delivered on consecutive cycles (one completion per cycle).
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[0].1, 20);
+        assert_eq!(completions[1].1, 21);
+        assert_eq!(bus.trace().slots(CoreId::from_index(0)), 1);
+        assert_eq!(bus.trace().busy_cycles(CoreId::from_index(1)), 10);
+    }
+
+    #[test]
+    fn fluid_bus_weighted_shares() {
+        // Weight 3:1, both post 30 units at t=0. Heavy core finishes at
+        // 40 (rate 3/4); light core still has 30 - 10 = 20 left, rate 1
+        // -> finishes at 60.
+        let mut bus = FluidBus::weighted(vec![3.0, 1.0]);
+        bus.post(FluidRequest {
+            core: CoreId::from_index(0),
+            work: 30,
+        })
+        .unwrap();
+        bus.post(FluidRequest {
+            core: CoreId::from_index(1),
+            work: 30,
+        })
+        .unwrap();
+        let mut done = Vec::new();
+        for now in 0..128 {
+            if let Some(c) = bus.begin_cycle(now) {
+                done.push((c.core.index(), c.at));
+            }
+            bus.end_cycle(now);
+        }
+        assert_eq!(done, vec![(0, 40), (1, 60)]);
+    }
+
+    #[test]
+    fn fluid_bus_rejects_bad_posts() {
+        let mut bus = FluidBus::new(2);
+        assert!(bus
+            .post(FluidRequest {
+                core: CoreId::from_index(0),
+                work: 0,
+            })
+            .is_err());
+        assert!(bus
+            .post(FluidRequest {
+                core: CoreId::from_index(5),
+                work: 3,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn heap_orders_many_flows() {
+        // n staggered flows with distinct works: completions come out in
+        // finish-time order regardless of insertion order.
+        let mut lane = FluidLane::new(1.0);
+        for i in 0..32u64 {
+            lane.insert(i, 1000.0 - (i as f64) * 17.0, 1.0, 0.0);
+        }
+        let mut last = 0.0f64;
+        let mut seen = Vec::new();
+        while let Some((t, id)) = lane.complete_next() {
+            assert!(t >= last - 1e-9, "completions must be time-ordered");
+            last = t;
+            seen.push(id);
+        }
+        // Least remaining work finishes first: ids in reverse order.
+        let expect: Vec<u64> = (0..32).rev().collect();
+        assert_eq!(seen, expect);
+    }
+}

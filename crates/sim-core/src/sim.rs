@@ -103,9 +103,10 @@ pub enum StopWhen {
     Horizon(Cycle),
 }
 
-/// Which cycle loop executes the run. Both produce bit-identical
-/// results; see [`drive`](crate::drive) and
-/// [`drive_events`](crate::drive_events).
+/// Which cycle loop executes the run. [`Engine::Events`] and
+/// [`Engine::Naive`] produce bit-identical results; see
+/// [`drive`](crate::drive) and [`drive_events`](crate::drive_events).
+/// [`Engine::Fluid`] selects the continuous-time approximation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// The event-horizon fast path: skips provably uneventful cycle
@@ -114,6 +115,15 @@ pub enum Engine {
     Events,
     /// The per-cycle reference loop: visits every cycle.
     Naive,
+    /// The continuous-time fluid backend: pair with a model built for it
+    /// (e.g. [`fluid::FluidBus`](crate::fluid::FluidBus), whose posted
+    /// requests drain concurrently at weight-proportional rates). The
+    /// loop itself runs with event-horizon skipping — for a discrete
+    /// model this engine behaves exactly like [`Engine::Events`]; the
+    /// approximation lives in the model, and higher layers (the
+    /// platform's `DriveMode::Fluid`) substitute their fluid executor
+    /// when this engine is requested.
+    Fluid,
 }
 
 /// A fully assembled simulation: one model, its agents, a stop
@@ -157,7 +167,7 @@ impl<M: BusModel, P: Probe<M::Completion>> Simulation<M, P> {
     /// Running consumes the workload: call it once per assembled run
     /// (reset the model and agents before reusing the same `Simulation`).
     pub fn run(&mut self) -> DriveOutcome {
-        let events = self.engine == Engine::Events;
+        let events = self.engine != Engine::Naive;
         let model = &mut self.model;
         let agents = &mut self.agents;
         let probe = &mut self.probe;

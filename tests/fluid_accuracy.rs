@@ -1,0 +1,149 @@
+//! Fluid-engine accuracy — the `engine = fluid` backend cross-validated
+//! against the exact events engine on every shipped scenario.
+//!
+//! The contract under test (the fluid engine's shipping criteria):
+//!
+//! 1. On every cell of every `scenarios/*.scn`, per-core bus shares from
+//!    the fluid engine are within 2% *absolute* of the events engine, and
+//!    total completion time is within 5% relative.
+//! 2. Fluid campaigns are bit-identical across 1, 2 and 8 worker threads
+//!    (the grid executor may not leak pool size into fluid results).
+//!
+//! The in-tree fluid executor is in fact *bit-identical* to the events
+//! engine (its continuous-event drive replicates the grant protocol
+//! exactly; the limit-cycle fast-forward is an arithmetic shortcut over a
+//! detected recurrence) — a stronger property that
+//! `fluid_is_bit_identical_to_events_in_tree` pins down separately so a
+//! future approximate backend loosens *that* test, not the tolerance
+//! contract above.
+
+use std::path::{Path, PathBuf};
+
+use cba_platform::campaign::run_seed;
+use cba_platform::scenario::ScenarioDef;
+use cba_platform::{run_once, Campaign, DriveMode, RunResult, RunSpec};
+
+const SHARE_TOLERANCE_ABS: f64 = 0.02;
+const COMPLETION_TOLERANCE_REL: f64 = 0.05;
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn shipped_scenarios() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ exists")
+        .filter_map(|e| {
+            let p = e.expect("readable dir entry").path();
+            (p.extension().map(|x| x == "scn") == Some(true)).then_some(p)
+        })
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no shipped scenarios found");
+    paths
+}
+
+/// Runs one cell spec under both engines with the same derived seed.
+fn both_engines(spec: &RunSpec, seed: u64) -> (RunResult, RunResult) {
+    let mut ev = spec.clone();
+    ev.drive = DriveMode::Events;
+    let mut fl = spec.clone();
+    fl.drive = DriveMode::Fluid;
+    (run_once(&ev, seed), run_once(&fl, seed))
+}
+
+fn for_each_shipped_cell(mut check: impl FnMut(&str, &str, &RunResult, &RunResult)) {
+    for path in shipped_scenarios() {
+        let name = path.file_stem().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).expect("scenario readable");
+        let def = ScenarioDef::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cells = def.expand().unwrap_or_else(|e| panic!("{name}: {e}"));
+        for cell in &cells {
+            let seed = run_seed(cell.seed, 0);
+            let (ev, fl) = both_engines(&cell.spec, seed);
+            let labels = format!("{:?}", cell.labels);
+            check(&name, &labels, &ev, &fl);
+        }
+    }
+}
+
+/// Criterion 1a: per-core shares within 2% absolute on every shipped cell.
+#[test]
+fn fluid_shares_within_two_percent_of_events_on_every_shipped_scenario() {
+    for_each_shipped_cell(|name, labels, ev, fl| {
+        assert_eq!(
+            ev.bus_busy.len(),
+            fl.bus_busy.len(),
+            "{name} {labels}: core-count mismatch"
+        );
+        for core in 0..ev.bus_busy.len() {
+            let want = ev.absolute_cycle_share(core);
+            let got = fl.absolute_cycle_share(core);
+            assert!(
+                (want - got).abs() <= SHARE_TOLERANCE_ABS,
+                "{name} {labels} core {core}: events share {want:.4} vs fluid {got:.4} \
+                 (> {SHARE_TOLERANCE_ABS} absolute)"
+            );
+        }
+    });
+}
+
+/// Criterion 1b: total completion time within 5% relative on every cell.
+#[test]
+fn fluid_completion_within_five_percent_of_events_on_every_shipped_scenario() {
+    for_each_shipped_cell(|name, labels, ev, fl| {
+        let want = ev.total_cycles as f64;
+        let got = fl.total_cycles as f64;
+        let rel = (want - got).abs() / want.max(1.0);
+        assert!(
+            rel <= COMPLETION_TOLERANCE_REL,
+            "{name} {labels}: events total {want} vs fluid {got} \
+             ({:.2}% > {:.0}%)",
+            rel * 100.0,
+            COMPLETION_TOLERANCE_REL * 100.0
+        );
+        assert_eq!(
+            ev.finished, fl.finished,
+            "{name} {labels}: engines disagree on whether the run finished"
+        );
+    });
+}
+
+/// The stronger in-tree property: the fluid executor reproduces the events
+/// engine bit-for-bit — every counter, wait statistic, trace metric and
+/// windowed-fairness sample — on every shipped cell.
+#[test]
+fn fluid_is_bit_identical_to_events_in_tree() {
+    for_each_shipped_cell(|name, labels, ev, fl| {
+        assert_eq!(ev, fl, "{name} {labels}: fluid diverged from events");
+    });
+}
+
+/// Criterion 2: a fluid campaign reports the same results on 1, 2 and 8
+/// worker threads — the pool size may not leak into any number.
+#[test]
+fn fluid_campaign_is_deterministic_across_thread_counts() {
+    let mut spec = RunSpec::paper(
+        cba_platform::BusSetup::Cba,
+        cba_platform::Scenario::MaxContention,
+        cba_platform::CoreLoad::FixedTask {
+            n_requests: 120,
+            duration: 6,
+            gap: 4,
+        },
+    );
+    spec.drive = DriveMode::Fluid;
+
+    let reference = Campaign::new(spec.clone(), 16, 2017).with_threads(1).run();
+    for threads in [2usize, 8] {
+        let other = Campaign::new(spec.clone(), 16, 2017)
+            .with_threads(threads)
+            .run();
+        assert_eq!(
+            reference.results(),
+            other.results(),
+            "fluid campaign differs between 1 and {threads} threads"
+        );
+        assert_eq!(reference.mean(), other.mean(), "{threads} threads: mean");
+    }
+}
