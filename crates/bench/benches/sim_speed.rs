@@ -220,10 +220,7 @@ fn main() {
         ("bench", Json::str("sim_speed")),
         ("runs_per_spec", Json::Num(runs as f64)),
         ("seed", Json::Num(seed as f64)),
-        (
-            "engines",
-            Json::Arr(labels.iter().map(Json::str).collect()),
-        ),
+        ("engines", Json::Arr(labels.iter().map(Json::str).collect())),
         ("scenarios", Json::Arr(rows)),
     ]);
     // Cargo runs benches with the package directory as CWD; anchor the

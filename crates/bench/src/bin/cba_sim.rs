@@ -12,16 +12,26 @@
 //!   from command-line flags, as before.
 //!
 //! Both modes accept `--out results.json|csv` for structured export.
+//!
+//! Scenario-file mode is crash-safe: `--checkpoint DIR` journals every
+//! finished cell (fsynced) and `--resume` skips the journaled cells after
+//! a crash, producing a report bit-identical to an uninterrupted run. The
+//! `CBA_CRASH_AFTER_RECORDS=N` environment variable aborts the process
+//! right after the `N`-th journal record — the hook the crash-resume CI
+//! job and local reproductions use to die at a deterministic point.
 
-use cba_platform::report::{run_scenario_with, CellReport, ScenarioReport};
+use cba_platform::checkpoint::FaultPlan;
+use cba_platform::report::{run_scenario_controlled, CellReport, RunControls, ScenarioReport};
 use cba_platform::scenario::{
     parse_cba_spec, parse_engine, parse_load_spec, parse_policy, ScenarioDef,
 };
 use cba_platform::{Campaign, CoreLoad, DriveMode, PlatformConfig, RunSpec, Scenario};
+use std::path::Path;
 
 const USAGE: &str = "\
 usage: cba_sim --scenario-file FILE [--runs N] [--seed S] [--threads N]
                [--engine events|naive|fluid] [--out FILE] [--format json|csv]
+               [--checkpoint DIR] [--resume]
        cba_sim [--policy fifo|rr|tdma|lot|rp|pri] [--cba none|homog|hcba|w:a,b,..]
                [--bench NAME | --loads SPEC] [--scenario iso|con] [--wcet]
                [--runs N] [--seed S] [--cores N] [--engine events|naive|fluid]
@@ -34,6 +44,13 @@ usage: cba_sim --scenario-file FILE [--runs N] [--seed S] [--threads N]
               'naive' (per-cycle reference loop, for debugging; results
               are bit-identical to events), or 'fluid' (continuous-event
               fair-sharing backend with limit-cycle fast-forward)
+--checkpoint  journal each finished cell to DIR/campaign.journal, fsynced
+              per record, so a crashed campaign loses at most the cells
+              in flight (scenario-file mode only)
+--resume      skip the cells already journaled in the --checkpoint DIR;
+              the resumed report is bit-identical to an uninterrupted run
+              at any thread count (the journal refuses to resume a
+              different scenario)
 
 load SPEC entries (comma-separated, first entry = core 0, the TuA):
     bench:NAME             catalog benchmark through the core model
@@ -67,6 +84,10 @@ scenario-file format (see scenarios/README.md for the commented example):
                   cluster_cba, backbone_cba, and the [tua] profile knobs
     [report]      baseline = axis=value,... (normalize each group to the
                   matching cell, like Fig. 1's RP-ISO), percentiles = 50,95,99
+    [checkpoint]  dir (journal directory; --checkpoint overrides it),
+                  cell_budget_ms (wall-clock budget per cell — runs past
+                  it are skipped and counted; non-deterministic),
+                  run_budget_cycles (deterministic per-run cycle cap)
 
 examples:
     cba_sim --scenario-file scenarios/paper_fig1.scn --runs 50 --out /tmp/fig1.json
@@ -78,6 +99,14 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
     eprintln!("{USAGE}");
     std::process::exit(2)
+}
+
+/// Runtime failure (unreadable scenario, unwritable path, interrupted or
+/// mismatched journal): one clear line, exit 1, no usage dump and no
+/// panic backtrace.
+fn die(err: &str) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(1)
 }
 
 fn main() {
@@ -96,6 +125,8 @@ fn main() {
     let mut format: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut engine: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -146,6 +177,8 @@ fn main() {
                 )
             }
             "--engine" => engine = Some(val("--engine")),
+            "--checkpoint" => checkpoint = Some(val("--checkpoint")),
+            "--resume" => resume = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0)
@@ -169,6 +202,23 @@ fn main() {
         }
         (path, format)
     });
+    // Probe writability BEFORE running anything, for the same reason: an
+    // unwritable path must not discard a long campaign at export time.
+    if let Some((path, _)) = &export {
+        let existed = Path::new(path).exists();
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        if !existed {
+            // The probe only proves writability; don't leave an empty
+            // file behind if the campaign is interrupted.
+            let _ = std::fs::remove_file(path);
+        }
+    }
 
     let report = match scenario_file {
         Some(path) => {
@@ -194,21 +244,26 @@ fn main() {
                     ignored.join(", ")
                 ));
             }
-            run_scenario_file(&path, runs, seed, threads, engine)
+            run_scenario_file(&path, runs, seed, threads, engine, checkpoint, resume)
         }
-        None => run_flag_mode(
-            policy.as_deref().unwrap_or("rp"),
-            cba.as_deref().unwrap_or("none"),
-            &bench,
-            &loads,
-            scenario.as_deref().unwrap_or("con"),
-            wcet,
-            runs,
-            seed,
-            cores.unwrap_or(4),
-            threads,
-            engine,
-        ),
+        None => {
+            if checkpoint.is_some() || resume {
+                usage("--checkpoint/--resume require --scenario-file (flag mode has one cell)");
+            }
+            run_flag_mode(
+                policy.as_deref().unwrap_or("rp"),
+                cba.as_deref().unwrap_or("none"),
+                &bench,
+                &loads,
+                scenario.as_deref().unwrap_or("con"),
+                wcet,
+                runs,
+                seed,
+                cores.unwrap_or(4),
+                threads,
+                engine,
+            )
+        }
     };
 
     print!("{}", report.render_table());
@@ -226,6 +281,22 @@ fn main() {
     }
 }
 
+/// Silences the default panic report for the executor's worker threads:
+/// a panicking run is contained by the engine and surfaced as its cell's
+/// `outcome = panicked` row, so the raw backtrace line is pure noise on a
+/// campaign's progress output. Panics on any *other* thread still print.
+fn quiet_worker_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let in_worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("cba-worker"));
+        if !in_worker {
+            default_hook(info);
+        }
+    }));
+}
+
 /// Scenario-file mode: parse, apply CLI overrides, run every cell.
 fn run_scenario_file(
     path: &str,
@@ -233,10 +304,12 @@ fn run_scenario_file(
     seed: Option<u64>,
     threads: Option<usize>,
     engine: Option<String>,
+    checkpoint: Option<String>,
+    resume: bool,
 ) -> ScenarioReport {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
-    let mut def = ScenarioDef::parse(&text).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let mut def = ScenarioDef::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
     if let Some(r) = runs {
         def.runs = r;
     }
@@ -251,6 +324,22 @@ fn run_scenario_file(
         parse_engine(&e).unwrap_or_else(|e| usage(&e));
         def.template.engine = e;
     }
+    if resume && checkpoint.is_none() && def.checkpoint.dir.is_none() {
+        usage("--resume needs --checkpoint DIR (or a [checkpoint] dir key in the scenario)");
+    }
+    // Test/CI hook: abort the process (SIGKILL semantics) right after the
+    // N-th journal record has been fsynced.
+    let faults = match std::env::var("CBA_CRASH_AFTER_RECORDS") {
+        Ok(v) => {
+            let n: usize = v.parse().unwrap_or_else(|_| {
+                die(&format!(
+                    "bad CBA_CRASH_AFTER_RECORDS '{v}' (expected a record count)"
+                ))
+            });
+            Some(FaultPlan::new().hard_kill_after(n))
+        }
+        Err(_) => None,
+    };
     eprintln!(
         "cba-sim: scenario '{}' from {path}: {} cells x {} runs, seed {}",
         def.name,
@@ -258,7 +347,13 @@ fn run_scenario_file(
         def.runs,
         def.seed
     );
-    run_scenario_with(&def, |done, total, cell| {
+    quiet_worker_panics();
+    let controls = RunControls {
+        checkpoint: checkpoint.as_deref().map(Path::new),
+        resume,
+        faults: faults.as_ref(),
+    };
+    run_scenario_controlled(&def, &controls, |done, total, cell| {
         let label: Vec<&str> = cell.labels.iter().map(|(_, v)| v.as_str()).collect();
         eprintln!(
             "cba-sim: [{done}/{total}] {} mean {:.1} cycles",
@@ -266,7 +361,7 @@ fn run_scenario_file(
             cell.mean
         );
     })
-    .unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+    .unwrap_or_else(|e| die(&format!("{path}: {e}")))
 }
 
 /// Flag mode: one ad-hoc cell from command-line flags, reported in the

@@ -81,15 +81,22 @@ impl CampaignResult {
     /// result — the same reduction [`Campaign::run`] applies, exposed so
     /// the grid-wide scenario executor can run cells' runs interleaved on
     /// one pool and aggregate per cell afterwards.
-    pub fn from_runs(results: Vec<RunResult>) -> Self {
+    ///
+    /// Takes any iterator so callers holding runs in slotted buffers (the
+    /// streaming scenario engine, a mid-cell resume) can feed them
+    /// directly instead of collecting into an intermediate `Vec` first —
+    /// the runs are stored exactly once, here.
+    pub fn from_runs(results: impl IntoIterator<Item = RunResult>) -> Self {
         Self::aggregate(results)
     }
 
-    fn aggregate(results: Vec<RunResult>) -> Self {
-        let mut samples = Vec::with_capacity(results.len());
+    fn aggregate(results: impl IntoIterator<Item = RunResult>) -> Self {
+        let results = results.into_iter();
+        let mut out = Vec::with_capacity(results.size_hint().0);
+        let mut samples = Vec::with_capacity(out.capacity());
         let mut summary = Summary::new();
         let mut unfinished = 0;
-        for r in &results {
+        for r in results {
             match (r.finished, r.tua_cycles) {
                 (true, Some(t)) => {
                     samples.push(t as f64);
@@ -103,12 +110,13 @@ impl CampaignResult {
                 }
                 _ => unfinished += 1,
             }
+            out.push(r);
         }
         CampaignResult {
             samples,
             summary,
             unfinished,
-            results,
+            results: out,
         }
     }
 

@@ -1,0 +1,638 @@
+//! Campaign checkpointing: the append-only cell journal and the
+//! deterministic fault-injection plan.
+//!
+//! Long campaigns must survive process death. The journal records every
+//! *completed* cell — not raw runs — because cells are the unit the
+//! streaming aggregation reduces to and the unit a resume can skip. The
+//! format is deliberately paranoid for something written once per cell:
+//!
+//! * a fixed header — magic, format version, and the
+//!   [`scenario_hash`](crate::scenario::ScenarioDef::scenario_hash) of the
+//!   grid, so a journal can never be replayed into a different scenario;
+//! * one record per cell — cell index, payload length, CRC-32, then the
+//!   [`CellReport`] encoded with the fixed binary codec
+//!   ([`sim_core::export::ByteWriter`]), floats as raw IEEE-754 bits so
+//!   replayed statistics are bit-identical to freshly computed ones;
+//! * an `fsync` after the header and after every record, so the journal
+//!   on disk is always a valid prefix no matter where the process dies.
+//!
+//! Recovery is valid-prefix replay: a truncated tail, a failed CRC or an
+//! undecodable record stops the replay at the last good record (the bad
+//! tail is truncated away before appending continues), and a
+//! version-skewed journal is discarded whole — each with a one-line
+//! notice. Only two conditions are hard errors: a file that is not a
+//! journal at all, and a scenario-hash mismatch (silently dropping
+//! completed work the user asked to resume would be worse than stopping).
+//!
+//! [`FaultPlan`] is the test-side counterpart: seeded, injectable panics,
+//! forced budget trips, and simulated kill-points *between* journal
+//! writes, so `tests/crash_resume.rs` can kill campaigns at arbitrary
+//! checkpoints and prove resume correctness deterministically.
+
+use crate::report::{CellOutcome, CellReport};
+use sim_core::export::{crc32, ByteReader, ByteWriter};
+use sim_core::rng::SimRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside a checkpoint directory.
+pub const JOURNAL_FILE: &str = "campaign.journal";
+
+/// Journal format version this build reads and writes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"CBACKPT\n";
+/// magic + version + scenario hash + total cells + runs per cell.
+const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 4;
+/// cell index + payload length + CRC-32.
+const RECORD_HEADER_LEN: usize = 4 + 4 + 4;
+
+/// An open, append-position checkpoint journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    records: usize,
+}
+
+/// What a resume replayed out of an existing journal.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// `(cell index, report)` pairs from the valid prefix, in journal
+    /// order.
+    pub cells: Vec<(usize, CellReport)>,
+    /// One-line recovery notices (truncated tail, CRC failure, version
+    /// skew, ...) for the caller to surface.
+    pub notices: Vec<String>,
+}
+
+impl Journal {
+    /// The journal path inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(JOURNAL_FILE)
+    }
+
+    /// Number of records written or replayed so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Creates a fresh journal in `dir` (creating the directory,
+    /// truncating any previous journal) and writes the fsynced header.
+    ///
+    /// # Errors
+    ///
+    /// One-line messages for an uncreatable directory or unwritable file.
+    pub fn create(
+        dir: &Path,
+        scenario_hash: u64,
+        total_cells: usize,
+        runs: usize,
+    ) -> Result<Journal, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create checkpoint directory {}: {e}", dir.display()))?;
+        let path = Journal::path_in(dir);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| format!("cannot write checkpoint journal {}: {e}", path.display()))?;
+        let mut header = ByteWriter::new();
+        header.u32(JOURNAL_VERSION);
+        header.u64(scenario_hash);
+        header.u32(total_cells as u32);
+        header.u32(runs as u32);
+        let write = |file: &mut File| -> std::io::Result<()> {
+            file.write_all(MAGIC)?;
+            file.write_all(&header.clone().into_bytes())?;
+            file.sync_data()
+        };
+        write(&mut file)
+            .map_err(|e| format!("cannot write checkpoint journal {}: {e}", path.display()))?;
+        Ok(Journal {
+            file,
+            path,
+            records: 0,
+        })
+    }
+
+    /// Opens `dir`'s journal for resumption: validates the header,
+    /// replays the valid record prefix, truncates any corrupt tail, and
+    /// returns the journal positioned for appending. A missing,
+    /// header-truncated or version-skewed journal starts over from
+    /// scratch (with a notice for the latter two).
+    ///
+    /// # Errors
+    ///
+    /// A file that is not a journal, a scenario-hash mismatch, or I/O
+    /// failure — each a one-line message.
+    pub fn resume(
+        dir: &Path,
+        scenario_hash: u64,
+        total_cells: usize,
+        runs: usize,
+    ) -> Result<(Journal, JournalReplay), String> {
+        let path = Journal::path_in(dir);
+        if !path.exists() {
+            return Ok((
+                Journal::create(dir, scenario_hash, total_cells, runs)?,
+                JournalReplay::default(),
+            ));
+        }
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("cannot read checkpoint journal {}: {e}", path.display()))?;
+        let mut replay = JournalReplay::default();
+        if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+            if bytes.len() >= 8 && &bytes[..8] != MAGIC {
+                return Err(format!(
+                    "{}: not a campaign journal (bad magic)",
+                    path.display()
+                ));
+            }
+            replay.notices.push(format!(
+                "{}: shorter than a journal header; discarding it and starting over",
+                path.display()
+            ));
+            let journal = Journal::create(dir, scenario_hash, total_cells, runs)?;
+            return Ok((journal, replay));
+        }
+        let mut header = ByteReader::new(&bytes[8..HEADER_LEN]);
+        let version = header.u32().expect("header length checked");
+        let file_hash = header.u64().expect("header length checked");
+        if version != JOURNAL_VERSION {
+            replay.notices.push(format!(
+                "{}: format version {version} (this build reads {JOURNAL_VERSION}); \
+                 discarding the journal and starting over",
+                path.display()
+            ));
+            let journal = Journal::create(dir, scenario_hash, total_cells, runs)?;
+            return Ok((journal, replay));
+        }
+        if file_hash != scenario_hash {
+            return Err(format!(
+                "{}: journal was written by a different scenario \
+                 (hash {file_hash:#018x}, expected {scenario_hash:#018x}); \
+                 use a fresh --checkpoint directory or rerun the matching scenario",
+                path.display()
+            ));
+        }
+
+        // Valid-prefix replay: stop at the first truncated, corrupt or
+        // undecodable record and keep everything before it.
+        let mut offset = HEADER_LEN;
+        let mut records = 0usize;
+        loop {
+            let remaining = bytes.len() - offset;
+            if remaining == 0 {
+                break;
+            }
+            let next = records + 1;
+            if remaining < RECORD_HEADER_LEN {
+                replay.notices.push(format!(
+                    "{}: record {next} has a truncated header; \
+                     resuming from the {records} valid records",
+                    path.display()
+                ));
+                break;
+            }
+            let mut rec = ByteReader::new(&bytes[offset..]);
+            let cell = rec.u32().expect("record header length checked") as usize;
+            let len = rec.u32().expect("record header length checked") as usize;
+            let crc = rec.u32().expect("record header length checked");
+            if remaining - RECORD_HEADER_LEN < len {
+                replay.notices.push(format!(
+                    "{}: record {next} has a truncated payload; \
+                     resuming from the {records} valid records",
+                    path.display()
+                ));
+                break;
+            }
+            let payload = &bytes[offset + RECORD_HEADER_LEN..offset + RECORD_HEADER_LEN + len];
+            if crc32(payload) != crc {
+                replay.notices.push(format!(
+                    "{}: record {next} failed its CRC check; \
+                     resuming from the {records} valid records",
+                    path.display()
+                ));
+                break;
+            }
+            let report = match decode_cell_report(payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    replay.notices.push(format!(
+                        "{}: record {next} is undecodable ({e}); \
+                         resuming from the {records} valid records",
+                        path.display()
+                    ));
+                    break;
+                }
+            };
+            if cell >= total_cells {
+                replay.notices.push(format!(
+                    "{}: record {next} names cell {cell} outside the grid; \
+                     resuming from the {records} valid records",
+                    path.display()
+                ));
+                break;
+            }
+            replay.cells.push((cell, report));
+            records = next;
+            offset += RECORD_HEADER_LEN + len;
+        }
+
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| format!("cannot write checkpoint journal {}: {e}", path.display()))?;
+        // Drop the corrupt tail so subsequent appends extend the valid
+        // prefix instead of burying new records behind garbage.
+        file.set_len(offset as u64)
+            .and_then(|()| file.seek(SeekFrom::End(0)))
+            .map_err(|e| format!("cannot write checkpoint journal {}: {e}", path.display()))?;
+        Ok((
+            Journal {
+                file,
+                path,
+                records,
+            },
+            replay,
+        ))
+    }
+
+    /// Appends one completed cell, flushes, and fsyncs — after this
+    /// returns, the record survives process death.
+    ///
+    /// # Errors
+    ///
+    /// A one-line message on I/O failure (disk full, revoked permissions).
+    pub fn append(&mut self, cell: usize, report: &CellReport) -> Result<(), String> {
+        let payload = encode_cell_report(report);
+        let mut rec = ByteWriter::new();
+        rec.u32(cell as u32);
+        rec.u32(payload.len() as u32);
+        rec.u32(crc32(&payload));
+        let bytes = rec.into_bytes();
+        let write = |file: &mut File| -> std::io::Result<()> {
+            file.write_all(&bytes)?;
+            file.write_all(&payload)?;
+            file.sync_data()
+        };
+        write(&mut self.file).map_err(|e| {
+            format!(
+                "cannot append to checkpoint journal {}: {e}",
+                self.path.display()
+            )
+        })?;
+        self.records += 1;
+        Ok(())
+    }
+}
+
+/// Encodes a [`CellReport`] with the fixed binary codec. Floats are
+/// written as raw bits, so `decode(encode(r))` reproduces every statistic
+/// bit-for-bit — the property the resume determinism contract rests on.
+pub fn encode_cell_report(r: &CellReport) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(r.labels.len() as u32);
+    for (k, v) in &r.labels {
+        w.str(k);
+        w.str(v);
+    }
+    w.u64(r.seed);
+    w.u64(r.runs as u64);
+    w.u64(r.unfinished as u64);
+    w.u64(r.panicked as u64);
+    w.u64(r.budget_trips as u64);
+    match &r.outcome {
+        CellOutcome::Ok => w.u8(0),
+        CellOutcome::Panicked(msg) => {
+            w.u8(1);
+            w.str(msg);
+        }
+        CellOutcome::Budget => w.u8(2),
+    }
+    w.f64(r.mean);
+    w.f64(r.ci95);
+    w.f64(r.min);
+    w.f64(r.max);
+    w.u32(r.percentiles.len() as u32);
+    for &(q, v) in &r.percentiles {
+        w.f64(q);
+        w.f64(v);
+    }
+    w.f64(r.utilization);
+    w.opt_f64(r.normalized);
+    w.opt_f64(r.normalized_ci95);
+    w.opt_f64(r.tua_max_burst);
+    w.opt_f64(r.contender_max_gap);
+    match &r.cluster_shares {
+        None => w.u8(0),
+        Some(shares) => {
+            w.u8(1);
+            w.f64s(shares);
+        }
+    }
+    w.opt_f64(r.cluster_fairness);
+    match &r.window_jain {
+        None => w.u8(0),
+        Some(jain) => {
+            w.u8(1);
+            w.f64s(jain);
+        }
+    }
+    match &r.window_shares {
+        None => w.u8(0),
+        Some(shares) => {
+            w.u8(1);
+            w.u32(shares.len() as u32);
+            for row in shares {
+                w.f64s(row);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a journal payload back into a [`CellReport`].
+///
+/// # Errors
+///
+/// A short or malformed buffer (the replay loop stops the valid prefix
+/// there).
+pub fn decode_cell_report(bytes: &[u8]) -> Result<CellReport, String> {
+    let mut r = ByteReader::new(bytes);
+    let n_labels = r.u32()? as usize;
+    let mut labels = Vec::with_capacity(n_labels.min(64));
+    for _ in 0..n_labels {
+        labels.push((r.str()?, r.str()?));
+    }
+    let seed = r.u64()?;
+    let runs = r.u64()? as usize;
+    let unfinished = r.u64()? as usize;
+    let panicked = r.u64()? as usize;
+    let budget_trips = r.u64()? as usize;
+    let outcome = match r.u8()? {
+        0 => CellOutcome::Ok,
+        1 => CellOutcome::Panicked(r.str()?),
+        2 => CellOutcome::Budget,
+        other => return Err(format!("bad outcome tag {other}")),
+    };
+    let mean = r.f64()?;
+    let ci95 = r.f64()?;
+    let min = r.f64()?;
+    let max = r.f64()?;
+    let n_pcts = r.u32()? as usize;
+    let mut percentiles = Vec::with_capacity(n_pcts.min(64));
+    for _ in 0..n_pcts {
+        percentiles.push((r.f64()?, r.f64()?));
+    }
+    let utilization = r.f64()?;
+    let normalized = r.opt_f64()?;
+    let normalized_ci95 = r.opt_f64()?;
+    let tua_max_burst = r.opt_f64()?;
+    let contender_max_gap = r.opt_f64()?;
+    let cluster_shares = match r.u8()? {
+        0 => None,
+        1 => Some(r.f64s()?),
+        other => return Err(format!("bad option flag {other}")),
+    };
+    let cluster_fairness = r.opt_f64()?;
+    let window_jain = match r.u8()? {
+        0 => None,
+        1 => Some(r.f64s()?),
+        other => return Err(format!("bad option flag {other}")),
+    };
+    let window_shares = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.u32()? as usize;
+            if n > bytes.len() {
+                return Err(format!("window matrix length {n} exceeds the record"));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(r.f64s()?);
+            }
+            Some(rows)
+        }
+        other => return Err(format!("bad option flag {other}")),
+    };
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes", r.remaining()));
+    }
+    Ok(CellReport {
+        labels,
+        seed,
+        runs,
+        unfinished,
+        outcome,
+        panicked,
+        budget_trips,
+        mean,
+        ci95,
+        min,
+        max,
+        percentiles,
+        utilization,
+        normalized,
+        normalized_ci95,
+        tua_max_burst,
+        contender_max_gap,
+        cluster_shares,
+        cluster_fairness,
+        window_jain,
+        window_shares,
+    })
+}
+
+/// A deterministic fault-injection plan for campaign robustness tests:
+/// which `(cell, run)` tasks panic, which cells trip their budget, and
+/// after how many journal records the campaign "dies".
+///
+/// Everything is seeded or explicit, so an injected failure reproduces
+/// bit-for-bit — the crash-resume suite relies on replaying the *same*
+/// faults across different thread counts and interruption points.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    panics: BTreeSet<(usize, usize)>,
+    /// cell → first run index that trips the (forced) budget; every run
+    /// of the cell from that index on is skipped.
+    budget_from: BTreeMap<usize, usize>,
+    kill_after_records: Option<usize>,
+    hard_kill: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Makes run `run` of cell `cell` panic inside the simulator.
+    pub fn panic_at(mut self, cell: usize, run: usize) -> FaultPlan {
+        self.panics.insert((cell, run));
+        self
+    }
+
+    /// Forces cell `cell`'s budget to trip from run index `from_run` on:
+    /// those runs are skipped exactly as if a wall-clock budget expired,
+    /// but deterministically.
+    pub fn budget_trip_from(mut self, cell: usize, from_run: usize) -> FaultPlan {
+        self.budget_from.insert(cell, from_run);
+        self
+    }
+
+    /// Stops the campaign (with an `interrupted:` error) right after the
+    /// `records`-th journal record is fsynced — a simulated kill-point
+    /// between journal writes.
+    pub fn kill_after(mut self, records: usize) -> FaultPlan {
+        self.kill_after_records = Some(records);
+        self.hard_kill = false;
+        self
+    }
+
+    /// Like [`kill_after`](Self::kill_after), but aborts the whole
+    /// process (`std::process::abort`) instead of returning — true
+    /// SIGKILL semantics for subprocess crash tests and the CI job.
+    pub fn hard_kill_after(mut self, records: usize) -> FaultPlan {
+        self.kill_after_records = Some(records);
+        self.hard_kill = true;
+        self
+    }
+
+    /// A seeded random plan over an `n_cells` × `runs` grid: roughly a
+    /// quarter of the cells get one panicking run and an eighth get a
+    /// forced budget trip. Deterministic in `seed`.
+    pub fn seeded(seed: u64, n_cells: usize, runs: usize) -> FaultPlan {
+        let mut rng = SimRng::seed_from(seed).fork(0xFA07);
+        let mut plan = FaultPlan::new();
+        for cell in 0..n_cells {
+            if rng.gen_bool(0.25) {
+                plan = plan.panic_at(cell, rng.gen_range_usize(0..runs));
+            }
+            if rng.gen_bool(0.125) {
+                plan = plan.budget_trip_from(cell, rng.gen_range_usize(0..runs));
+            }
+        }
+        plan
+    }
+
+    /// Does run `run` of cell `cell` panic?
+    pub fn panics_at(&self, cell: usize, run: usize) -> bool {
+        self.panics.contains(&(cell, run))
+    }
+
+    /// Is run `run` of cell `cell` skipped by a forced budget trip?
+    pub fn forces_budget_trip(&self, cell: usize, run: usize) -> bool {
+        self.budget_from.get(&cell).is_some_and(|&from| run >= from)
+    }
+
+    /// Does the campaign die once `records` journal records exist?
+    pub fn kills_after(&self, records: usize) -> bool {
+        self.kill_after_records.is_some_and(|k| records >= k)
+    }
+
+    /// Whether the kill-point aborts the process instead of returning.
+    pub fn is_hard_kill(&self) -> bool {
+        self.hard_kill
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CellReport {
+        CellReport {
+            labels: vec![
+                ("setup".into(), "RP".into()),
+                ("scenario".into(), "ISO".into()),
+            ],
+            seed: 0xDEAD_BEEF,
+            runs: 7,
+            unfinished: 1,
+            outcome: CellOutcome::Panicked("boom".into()),
+            panicked: 2,
+            budget_trips: 1,
+            mean: 1234.5678,
+            ci95: 0.1 + 0.2, // a value with no short decimal form
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            percentiles: vec![(0.5, 1200.0), (0.999, 9999.25)],
+            utilization: 0.7315,
+            normalized: None,
+            normalized_ci95: Some(0.001),
+            tua_max_burst: Some(3.5),
+            contender_max_gap: None,
+            cluster_shares: Some(vec![0.25, 0.5]),
+            cluster_fairness: Some(0.9),
+            window_jain: Some(vec![1.0, 0.8]),
+            window_shares: Some(vec![vec![0.1, 0.2], vec![0.3, 0.4]]),
+        }
+    }
+
+    #[test]
+    fn cell_report_round_trips_bit_for_bit() {
+        let report = sample_report();
+        let decoded = decode_cell_report(&encode_cell_report(&report)).unwrap();
+        assert_eq!(decoded.labels, report.labels);
+        assert_eq!(decoded.outcome, report.outcome);
+        assert_eq!(decoded.mean.to_bits(), report.mean.to_bits());
+        assert_eq!(decoded.ci95.to_bits(), report.ci95.to_bits());
+        assert_eq!(decoded.min.to_bits(), report.min.to_bits());
+        assert_eq!(decoded.max.to_bits(), report.max.to_bits());
+        assert_eq!(decoded.percentiles, report.percentiles);
+        assert_eq!(decoded.normalized, report.normalized);
+        assert_eq!(decoded.normalized_ci95, report.normalized_ci95);
+        assert_eq!(decoded.cluster_shares, report.cluster_shares);
+        assert_eq!(decoded.window_shares, report.window_shares);
+        assert_eq!(decoded.panicked, report.panicked);
+        assert_eq!(decoded.budget_trips, report.budget_trips);
+    }
+
+    #[test]
+    fn truncated_payload_fails_to_decode() {
+        let bytes = encode_cell_report(&sample_report());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_cell_report(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_in_its_seed() {
+        let a = FaultPlan::seeded(42, 16, 5);
+        let b = FaultPlan::seeded(42, 16, 5);
+        for cell in 0..16 {
+            for run in 0..5 {
+                assert_eq!(a.panics_at(cell, run), b.panics_at(cell, run));
+                assert_eq!(
+                    a.forces_budget_trip(cell, run),
+                    b.forces_budget_trip(cell, run)
+                );
+            }
+        }
+        let c = FaultPlan::seeded(43, 16, 5);
+        let differs = (0..16).any(|cell| {
+            (0..5).any(|run| {
+                a.panics_at(cell, run) != c.panics_at(cell, run)
+                    || a.forces_budget_trip(cell, run) != c.forces_budget_trip(cell, run)
+            })
+        });
+        assert!(differs, "different seeds should draw different faults");
+    }
+
+    #[test]
+    fn budget_trip_skips_every_run_from_its_index() {
+        let plan = FaultPlan::new().budget_trip_from(3, 2);
+        assert!(!plan.forces_budget_trip(3, 1));
+        assert!(plan.forces_budget_trip(3, 2));
+        assert!(plan.forces_budget_trip(3, 4));
+        assert!(!plan.forces_budget_trip(2, 4));
+    }
+}

@@ -60,17 +60,23 @@ pub fn run_indexed_streamed<T, F>(
     std::thread::scope(|scope| {
         let next = &next;
         let task = &task;
-        for _ in 0..workers {
+        for w in 0..workers {
             let sender = sender.clone();
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n_tasks {
-                    break;
-                }
-                if sender.send((i, task(i))).is_err() {
-                    break;
-                }
-            });
+            // Named threads let crash-tolerant callers (the CLI's panic
+            // hook) tell an isolated worker panic from a caller-thread
+            // one, and show up in debugger/`/proc` listings.
+            std::thread::Builder::new()
+                .name(format!("cba-worker-{w}"))
+                .spawn_scoped(scope, move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n_tasks {
+                        break;
+                    }
+                    if sender.send((i, task(i))).is_err() {
+                        break;
+                    }
+                })
+                .expect("spawning a named worker thread");
         }
         // The receive loop ends when the last worker drops its sender.
         drop(sender);

@@ -64,6 +64,7 @@ pub fn fig1_def(benchmarks: &[EembcProfile], runs: usize, seed: u64) -> Scenario
         runs,
         seed,
         threads: None,
+        checkpoint: Default::default(),
         template: Template::default(),
         axes: vec![
             Axis {
@@ -202,6 +203,7 @@ pub fn illustrative_def(runs: usize, seed: u64) -> ScenarioDef {
         runs,
         seed,
         threads: None,
+        checkpoint: Default::default(),
         template: Template {
             tua: TuaSpec::Load("fixed:1000:6:4".into()),
             contenders: ContenderSpec::Fill("sat:28".into()),
@@ -279,6 +281,7 @@ pub fn fairness_sweep_def(
         runs,
         seed,
         threads: None,
+        checkpoint: Default::default(),
         template: Template {
             policy: "rr".into(),
             tua: TuaSpec::Load("fixed:400:5:0".into()),

@@ -9,7 +9,7 @@
 //! trace bookkeeping, probe fan-out. The fluid engine replaces that object
 //! graph with a flattened continuous-time model of the same semantics:
 //!
-//! * **Flat platforms** run on [`FlatModel`], a de-virtualized replica of
+//! * **Flat platforms** run on `FlatModel`, a de-virtualized replica of
 //!   the non-split bus's cycle protocol (same arbitration order, same
 //!   filter hooks, same accounting) whose state is plain data — which is
 //!   what makes the *limit-cycle fast-forward* possible: once the model,
@@ -20,7 +20,7 @@
 //!   — instead of being replayed. Saturated fair-sharing runs (the
 //!   scaling and WCET sweeps) reach their limit cycle within a few
 //!   rotations and then finish in O(1) per period.
-//! * **Fabric platforms** drive the real [`Fabric`](cba_bus::Fabric)
+//! * **Fabric platforms** drive the real [`Fabric`]
 //!   through its [`BusModel`] event interface; bridge pipelines make the
 //!   state space too rich for signature matching, so the fabric path is
 //!   event-sparse but not fast-forwarded.
@@ -35,7 +35,7 @@
 //!
 //! The underlying continuous fair-sharing mathematics (virtual-time lane,
 //! O(log n) completion heap) lives in [`sim_core::fluid`]; this module is
-//! the platform-level executor that [`DriveMode::Fluid`] dispatches to.
+//! the platform-level executor that [`DriveMode::Fluid`](crate::DriveMode::Fluid) dispatches to.
 
 use crate::agents::{AgentRegistry, BoxedPortAgent};
 use crate::platform::{build_fabric, CoreLoad, RunResult, RunSpec, StopCondition};

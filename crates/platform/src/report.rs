@@ -15,11 +15,51 @@
 //! plots/dashboards, `to_csv` for spreadsheets, `render_table` for the
 //! terminal.
 
-use crate::campaign::{run_seed, CampaignResult};
+use crate::campaign::run_seed;
+use crate::checkpoint::{FaultPlan, Journal};
 use crate::executor::{default_threads, run_indexed_streamed};
 use crate::platform::{run_once, RunResult, RunSpec};
+use crate::probes::WindowedFairness;
 use crate::scenario::{ScenarioDef, ScenarioError};
 use sim_core::export::{csv_field, fmt_number, Json};
+use sim_core::stats::Summary;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+/// How a cell's campaign ended: the per-cell fault-containment status.
+///
+/// A degraded campaign reports *which* cells failed instead of aborting —
+/// a panicking run is caught ([`catch_unwind`]) and a budget-tripped cell
+/// is cut short, and either way the cell still produces a report row
+/// carrying this status through JSON (`"outcome"`), CSV (the `outcome`
+/// column) and the terminal table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Every run executed normally.
+    Ok,
+    /// At least one run panicked; carries the first panic message.
+    Panicked(String),
+    /// At least one run was skipped or truncated by a `[checkpoint]`
+    /// budget (`cell_budget_ms` / `run_budget_cycles`) or a forced trip
+    /// from a [`FaultPlan`].
+    Budget,
+}
+
+impl CellOutcome {
+    /// The stable machine-readable label (`ok` / `panicked` / `budget`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok => "ok",
+            CellOutcome::Panicked(_) => "panicked",
+            CellOutcome::Budget => "budget",
+        }
+    }
+
+    /// True when the cell completed without faults.
+    pub fn is_ok(&self) -> bool {
+        *self == CellOutcome::Ok
+    }
+}
 
 /// Aggregated result of one grid cell.
 #[derive(Debug, Clone)]
@@ -32,6 +72,12 @@ pub struct CellReport {
     pub runs: usize,
     /// Runs that hit the cycle safety limit instead of finishing.
     pub unfinished: usize,
+    /// Fault-containment status of the cell.
+    pub outcome: CellOutcome,
+    /// Runs that panicked (caught; excluded from every statistic).
+    pub panicked: usize,
+    /// Runs skipped or truncated by a budget guard.
+    pub budget_trips: usize,
     /// Mean execution time (cycles).
     pub mean: f64,
     /// Half-width of the 95% confidence interval on the mean (cycles).
@@ -97,6 +143,10 @@ impl CellReport {
     /// decides which optional summaries are extracted: burst/starvation
     /// metrics for trace-recording cells, per-cluster shares and the
     /// cross-cluster fairness index for fabric cells.
+    ///
+    /// Delegates to the same streaming `CellAccumulator` the scenario
+    /// engine folds live runs into, so flag-mode campaigns and grid cells
+    /// share one aggregation path (and one set of numerics).
     pub fn from_campaign(
         labels: Vec<(String, String)>,
         seed: u64,
@@ -104,58 +154,217 @@ impl CellReport {
         qs: &[f64],
         spec: &RunSpec,
     ) -> CellReport {
-        let record_trace = spec.record_trace;
-        let summary = result.summary();
-        let percentiles = if result.samples().is_empty() {
+        let mut acc = CellAccumulator::new(result.results().len());
+        for (i, r) in result.results().iter().enumerate() {
+            acc.record(
+                i,
+                RunOutcome::Done(Box::new(RunTally::from_run(r.clone(), spec, None))),
+            );
+        }
+        acc.finish(labels, seed, qs, spec)
+    }
+}
+
+/// One finished run, reduced to the few scalars (and small window/cluster
+/// vectors) the cell-level statistics need. Folding each [`RunResult`]
+/// into a `RunTally` the moment it lands lets the engine drop the per-core
+/// trace vectors immediately instead of retaining every raw run of every
+/// in-flight cell.
+#[derive(Debug, Clone)]
+pub(crate) struct RunTally {
+    /// The execution-time sample (cycles); `None` for unfinished runs.
+    sample: Option<f64>,
+    utilization: f64,
+    /// TuA longest back-to-back grant burst (trace-recording runs).
+    burst: Option<f64>,
+    /// Worst contender grant gap (0 when no contender recorded one).
+    gap: f64,
+    /// Per-cluster backbone-share contribution of this run (fabric runs).
+    cluster_busy: Option<Vec<f64>>,
+    windows: Option<WindowedFairness>,
+    /// The run stopped at a `run_budget_cycles` cap instead of finishing.
+    budget_tripped: bool,
+}
+
+impl RunTally {
+    pub(crate) fn from_run(r: RunResult, spec: &RunSpec, run_budget: Option<u64>) -> RunTally {
+        let sample = match (r.finished, r.tua_cycles) {
+            (true, Some(t)) => Some(t as f64),
+            // Horizon runs have no TuA completion; record the horizon
+            // itself so fairness campaigns still aggregate.
+            (true, None) => Some(r.total_cycles as f64),
+            _ => None,
+        };
+        let budget_tripped = !r.finished && run_budget.is_some_and(|b| r.total_cycles >= b);
+        let burst = r.max_burst.first().copied().flatten().map(|b| b as f64);
+        let gap = r
+            .max_grant_gap
+            .iter()
+            .skip(1)
+            .filter_map(|g| *g)
+            .max()
+            .unwrap_or(0) as f64;
+        let cluster_busy = spec.platform.topology.as_ref().map(|topo| {
+            (0..topo.clusters)
+                .map(|k| {
+                    if r.total_cycles == 0 {
+                        return 0.0;
+                    }
+                    let lo = k * topo.cores_per_cluster;
+                    let busy: u64 = r.bus_busy[lo..lo + topo.cores_per_cluster].iter().sum();
+                    busy as f64 / r.total_cycles as f64
+                })
+                .collect()
+        });
+        RunTally {
+            sample,
+            utilization: r.utilization(),
+            burst,
+            gap,
+            cluster_busy,
+            windows: r.windows,
+            budget_tripped,
+        }
+    }
+}
+
+/// What one `(cell, run)` task produced.
+#[derive(Debug, Clone)]
+pub(crate) enum RunOutcome {
+    /// The run executed (finished or hit a cycle limit).
+    Done(Box<RunTally>),
+    /// The run panicked; the payload message was captured.
+    Panicked(String),
+    /// The run was skipped by a wall-clock budget or a forced fault-plan
+    /// trip before it started.
+    BudgetSkipped,
+}
+
+/// Streaming per-cell aggregation: run outcomes land in per-run slots in
+/// any order, and once the last one arrives [`finish`](Self::finish)
+/// reduces them **in run-index order** — f64 accumulation is
+/// order-sensitive, so index-order reduction is what keeps cell
+/// statistics bit-identical across thread counts and across
+/// interrupted-and-resumed executions.
+#[derive(Debug, Default)]
+pub(crate) struct CellAccumulator {
+    slots: Vec<Option<RunOutcome>>,
+    received: usize,
+}
+
+impl CellAccumulator {
+    pub(crate) fn new(runs: usize) -> CellAccumulator {
+        let mut slots = Vec::with_capacity(runs);
+        slots.resize_with(runs, || None);
+        CellAccumulator { slots, received: 0 }
+    }
+
+    pub(crate) fn record(&mut self, run: usize, outcome: RunOutcome) {
+        debug_assert!(self.slots[run].is_none(), "run {run} delivered twice");
+        self.slots[run] = Some(outcome);
+        self.received += 1;
+    }
+
+    pub(crate) fn is_complete(&self) -> bool {
+        self.received == self.slots.len()
+    }
+
+    pub(crate) fn finish(
+        self,
+        labels: Vec<(String, String)>,
+        seed: u64,
+        qs: &[f64],
+        spec: &RunSpec,
+    ) -> CellReport {
+        let mut samples: Vec<f64> = Vec::new();
+        let mut summary = Summary::new();
+        let mut unfinished = 0usize;
+        let mut panicked = 0usize;
+        let mut first_panic: Option<String> = None;
+        let mut budget_trips = 0usize;
+        let mut n_done = 0usize;
+        let mut util_sum = 0.0f64;
+        let mut burst_sum = 0.0f64;
+        let mut gap_sum = 0.0f64;
+        let mut cluster_sum: Option<Vec<f64>> = spec
+            .platform
+            .topology
+            .as_ref()
+            .map(|topo| vec![0.0f64; topo.clusters]);
+        let (mut window_jain_sum, mut window_share_sum, mut windows_counted) = match spec.windows {
+            None => (None, None, 0usize),
+            Some(w) => (
+                Some(vec![0.0f64; w as usize]),
+                Some(vec![vec![0.0f64; spec.platform.n_cores]; w as usize]),
+                0usize,
+            ),
+        };
+        for slot in self.slots {
+            match slot.expect("every run delivered before finish()") {
+                RunOutcome::Done(t) => {
+                    n_done += 1;
+                    match t.sample {
+                        Some(s) => {
+                            samples.push(s);
+                            summary.record(s);
+                        }
+                        None => unfinished += 1,
+                    }
+                    if t.budget_tripped {
+                        budget_trips += 1;
+                    }
+                    util_sum += t.utilization;
+                    if let Some(b) = t.burst {
+                        burst_sum += b;
+                    }
+                    gap_sum += t.gap;
+                    if let (Some(acc), Some(c)) = (&mut cluster_sum, &t.cluster_busy) {
+                        for (a, x) in acc.iter_mut().zip(c) {
+                            *a += x;
+                        }
+                    }
+                    if let Some(wf) = &t.windows {
+                        windows_counted += 1;
+                        if let Some(jain) = &mut window_jain_sum {
+                            for (a, j) in jain.iter_mut().zip(&wf.jain) {
+                                *a += j;
+                            }
+                        }
+                        if let Some(shares) = &mut window_share_sum {
+                            for (row, wrow) in shares.iter_mut().zip(&wf.shares) {
+                                for (a, s) in row.iter_mut().zip(wrow) {
+                                    *a += s;
+                                }
+                            }
+                        }
+                    }
+                }
+                RunOutcome::Panicked(msg) => {
+                    panicked += 1;
+                    first_panic.get_or_insert(msg);
+                }
+                RunOutcome::BudgetSkipped => budget_trips += 1,
+            }
+        }
+        // Denominator: runs that actually executed. With no faults this is
+        // every run, matching the pre-containment aggregation exactly.
+        let denom = (n_done as f64).max(1.0);
+        let percentiles = if samples.is_empty() {
             Vec::new()
         } else {
-            qs.iter().map(|&q| (q, result.percentile(q))).collect()
+            qs.iter()
+                .map(|&q| (q, sim_core::stats::percentile(&samples, q)))
+                .collect()
         };
-        let n_runs = result.results().len() as f64;
-        let utilization = result
-            .results()
-            .iter()
-            .map(|r| r.utilization())
-            .sum::<f64>()
-            / n_runs.max(1.0);
-        let (tua_max_burst, contender_max_gap) = if record_trace {
-            let burst: f64 = result
-                .results()
-                .iter()
-                .filter_map(|r| r.max_burst.first().copied().flatten())
-                .map(|b| b as f64)
-                .sum();
-            let gap: f64 = result
-                .results()
-                .iter()
-                .map(|r| {
-                    r.max_grant_gap
-                        .iter()
-                        .skip(1)
-                        .filter_map(|g| *g)
-                        .max()
-                        .unwrap_or(0) as f64
-                })
-                .sum();
-            (Some(burst / n_runs.max(1.0)), Some(gap / n_runs.max(1.0)))
+        let (tua_max_burst, contender_max_gap) = if spec.record_trace {
+            (Some(burst_sum / denom), Some(gap_sum / denom))
         } else {
             (None, None)
         };
-        let (cluster_shares, cluster_fairness) = match &spec.platform.topology {
+        let (cluster_shares, cluster_fairness) = match cluster_sum {
             None => (None, None),
-            Some(topo) => {
-                let mut shares = vec![0.0f64; topo.clusters];
-                for r in result.results() {
-                    if r.total_cycles == 0 {
-                        continue;
-                    }
-                    for (k, share) in shares.iter_mut().enumerate() {
-                        let lo = k * topo.cores_per_cluster;
-                        let busy: u64 = r.bus_busy[lo..lo + topo.cores_per_cluster].iter().sum();
-                        *share += busy as f64 / r.total_cycles as f64;
-                    }
-                }
-                shares.iter_mut().for_each(|s| *s /= n_runs.max(1.0));
+            Some(mut shares) => {
+                shares.iter_mut().for_each(|s| *s /= denom);
                 let sum: f64 = shares.iter().sum();
                 let sq: f64 = shares.iter().map(|s| s * s).sum();
                 let jain = if sq > 0.0 {
@@ -166,45 +375,38 @@ impl CellReport {
                 (Some(shares), Some(jain))
             }
         };
-        let (window_jain, window_shares) = match spec.windows {
-            None => (None, None),
-            Some(w) => {
-                let n_windows = w as usize;
-                let n_cores = spec.platform.n_cores;
-                let mut jain = vec![0.0f64; n_windows];
-                let mut shares = vec![vec![0.0f64; n_cores]; n_windows];
-                let mut counted = 0usize;
-                for r in result.results() {
-                    let Some(wf) = &r.windows else { continue };
-                    counted += 1;
-                    for (wi, j) in wf.jain.iter().enumerate() {
-                        jain[wi] += j;
-                    }
-                    for (wi, row) in wf.shares.iter().enumerate() {
-                        for (ci, s) in row.iter().enumerate() {
-                            shares[wi][ci] += s;
-                        }
-                    }
-                }
-                let denom = (counted as f64).max(1.0);
-                jain.iter_mut().for_each(|j| *j /= denom);
-                shares
-                    .iter_mut()
-                    .for_each(|row| row.iter_mut().for_each(|s| *s /= denom));
-                (Some(jain), Some(shares))
-            }
+        let wdenom = (windows_counted as f64).max(1.0);
+        let window_jain = window_jain_sum.map(|mut jain| {
+            jain.iter_mut().for_each(|j| *j /= wdenom);
+            jain
+        });
+        let window_shares = window_share_sum.map(|mut shares| {
+            shares
+                .iter_mut()
+                .for_each(|row| row.iter_mut().for_each(|s| *s /= wdenom));
+            shares
+        });
+        let outcome = if let Some(msg) = first_panic {
+            CellOutcome::Panicked(msg)
+        } else if budget_trips > 0 {
+            CellOutcome::Budget
+        } else {
+            CellOutcome::Ok
         };
         CellReport {
             labels,
             seed,
-            runs: result.samples().len(),
-            unfinished: result.unfinished(),
-            mean: result.mean(),
+            runs: samples.len(),
+            unfinished,
+            outcome,
+            panicked,
+            budget_trips,
+            mean: summary.mean(),
             ci95: summary.ci95_half_width(),
             min: summary.min(),
             max: summary.max(),
             percentiles,
-            utilization,
+            utilization: util_sum / denom,
             normalized: None,
             normalized_ci95: None,
             tua_max_burst,
@@ -255,58 +457,219 @@ pub fn run_scenario(def: &ScenarioDef) -> Result<ScenarioReport, ScenarioError> 
 /// (expansion) order regardless, and identical for any thread count.
 pub fn run_scenario_with(
     def: &ScenarioDef,
+    progress: impl FnMut(usize, usize, &CellReport),
+) -> Result<ScenarioReport, ScenarioError> {
+    run_scenario_controlled(def, &RunControls::default(), progress)
+}
+
+/// Crash-safety controls for [`run_scenario_controlled`]: where (and
+/// whether) to journal completed cells, whether to resume from an
+/// existing journal, and an optional fault-injection plan for tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunControls<'a> {
+    /// Journal completed cells into this directory (`campaign.journal`
+    /// inside it). `None` = no checkpointing.
+    pub checkpoint: Option<&'a Path>,
+    /// Replay the journal first and run only the missing cells. Without
+    /// this flag an existing journal is overwritten.
+    pub resume: bool,
+    /// Deterministic fault injection (tests and the crash-resume CI job).
+    pub faults: Option<&'a FaultPlan>,
+}
+
+/// Wall-clock budget state of one in-flight cell: the clock starts when
+/// the cell's first run starts, and is checked before each later run.
+/// Inherently host-dependent — see
+/// [`CheckpointSpec`](crate::scenario::CheckpointSpec).
+#[derive(Debug, Default)]
+struct CellClock {
+    started: std::sync::OnceLock<std::time::Instant>,
+}
+
+impl CellClock {
+    fn begin(&self) {
+        self.started.get_or_init(std::time::Instant::now);
+    }
+
+    fn expired(&self, budget_ms: u64) -> bool {
+        self.started
+            .get()
+            .is_some_and(|t| t.elapsed().as_millis() as u64 > budget_ms)
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// The full crash-safe scenario executor: [`run_scenario_with`] plus
+/// checkpoint/resume journaling and per-cell fault containment.
+///
+/// * **Streaming aggregation** — every finished `(cell, run)` is folded
+///   into its cell's `CellAccumulator` the moment it lands; raw
+///   [`RunResult`]s are never retained. Reduction happens in run-index
+///   order, so reports are bit-identical for any thread count.
+/// * **Checkpointing** — with `controls.checkpoint`, each completed cell
+///   is appended (fsynced, CRC-guarded) to the journal before the next
+///   result is consumed. With `controls.resume`, journaled cells are
+///   replayed and skipped; normalization runs at the end over the merged
+///   set, so an interrupted-and-resumed campaign reports **bit-for-bit**
+///   the same as a single-shot one.
+/// * **Fault containment** — each run executes under [`catch_unwind`];
+///   panicking runs and budget-tripped cells degrade into
+///   [`CellOutcome`] rows instead of aborting the campaign.
+///
+/// # Errors
+///
+/// Propagates expansion/baseline errors like [`run_scenario`], plus
+/// journal I/O errors (unwritable directory, mismatched scenario hash) —
+/// and an `interrupted:` error when a [`FaultPlan`] kill-point fires
+/// (the journal stays valid for a subsequent resume).
+pub fn run_scenario_controlled(
+    def: &ScenarioDef,
+    controls: &RunControls<'_>,
     mut progress: impl FnMut(usize, usize, &CellReport),
 ) -> Result<ScenarioReport, ScenarioError> {
-    let cells = def.expand()?;
+    let mut cells = def.expand()?;
     let total = cells.len();
     let runs = def.runs;
     let threads = def.threads.unwrap_or_else(default_threads);
-    // One flat task list over the whole grid: task i is run (i % runs) of
-    // cell (i / runs), seeded exactly as Campaign would seed it. Results
-    // stream back in completion order; a cell is aggregated (and its
-    // progress line fired) the moment its last run lands, so long grids
-    // report live and only in-flight cells' raw results stay in memory.
-    let mut pending: Vec<Vec<Option<RunResult>>> = (0..total).map(|_| Vec::new()).collect();
-    let mut missing: Vec<usize> = vec![runs; total];
+    let run_budget = def.checkpoint.run_budget_cycles;
+    if let Some(budget) = run_budget {
+        // The deterministic budget is just a tighter safety limit.
+        for cell in &mut cells {
+            cell.spec.max_cycles = cell.spec.max_cycles.min(budget);
+        }
+    }
+    let default_plan = FaultPlan::default();
+    let plan = controls.faults.unwrap_or(&default_plan);
+
     let mut reports: Vec<Option<CellReport>> = (0..total).map(|_| None).collect();
-    let mut done_cells = 0usize;
+    let mut journal: Option<Journal> = None;
+    // --checkpoint overrides the scenario's own [checkpoint] dir key.
+    let def_dir = def.checkpoint.dir.as_ref().map(Path::new);
+    if let Some(dir) = controls.checkpoint.or(def_dir) {
+        let hash = def.scenario_hash();
+        let (j, replay) = if controls.resume {
+            Journal::resume(dir, hash, total, runs).map_err(ScenarioError::new)?
+        } else {
+            (
+                Journal::create(dir, hash, total, runs).map_err(ScenarioError::new)?,
+                crate::checkpoint::JournalReplay::default(),
+            )
+        };
+        for notice in &replay.notices {
+            eprintln!("cba: checkpoint: {notice}");
+        }
+        for (ci, report) in replay.cells {
+            reports[ci] = Some(report);
+        }
+        journal = Some(j);
+    }
+
+    // Only the missing cells are scheduled: one flat task list, task i is
+    // run (i % runs) of work[i / runs], seeded exactly as a single-shot
+    // execution would seed it (seeds depend on the cell, not on the
+    // schedule, which is what makes resume bit-exact).
+    let work: Vec<usize> = (0..total).filter(|&ci| reports[ci].is_none()).collect();
+    let mut done_cells = total - work.len();
+    let mut pending: Vec<CellAccumulator> =
+        work.iter().map(|_| CellAccumulator::new(runs)).collect();
+    let clocks: Vec<CellClock> = work.iter().map(|_| CellClock::default()).collect();
+    let budget_ms = def.checkpoint.cell_budget_ms;
+    let mut journal_error: Option<String> = None;
+    let mut killed: Option<usize> = None;
     run_indexed_streamed(
-        total * runs,
+        work.len() * runs,
         threads,
         |i| {
-            let cell = &cells[i / runs];
-            run_once(&cell.spec, run_seed(cell.seed, i % runs))
+            let wi = i / runs;
+            let run = i % runs;
+            let ci = work[wi];
+            let cell = &cells[ci];
+            if plan.forces_budget_trip(ci, run) {
+                return RunOutcome::BudgetSkipped;
+            }
+            if let Some(ms) = budget_ms {
+                if clocks[wi].expired(ms) {
+                    return RunOutcome::BudgetSkipped;
+                }
+            }
+            clocks[wi].begin();
+            let seed = run_seed(cell.seed, run);
+            match catch_unwind(AssertUnwindSafe(|| {
+                if plan.panics_at(ci, run) {
+                    panic!("injected fault (cell {ci}, run {run})");
+                }
+                run_once(&cell.spec, seed)
+            })) {
+                Ok(r) => RunOutcome::Done(Box::new(RunTally::from_run(r, &cell.spec, run_budget))),
+                Err(payload) => RunOutcome::Panicked(panic_message(payload)),
+            }
         },
-        |i, result| {
-            let ci = i / runs;
-            let buf = &mut pending[ci];
-            if buf.is_empty() {
-                buf.resize_with(runs, || None);
+        |i, outcome| {
+            // After a simulated kill-point or a journal write failure the
+            // campaign is "dead": drain remaining results without
+            // journaling or reporting them.
+            if killed.is_some() || journal_error.is_some() {
+                return;
             }
-            buf[i % runs] = Some(result);
-            missing[ci] -= 1;
-            if missing[ci] == 0 {
-                // Take (not drain) so the buffer's allocation is freed the
-                // moment its cell aggregates.
-                let cell_runs: Vec<RunResult> = std::mem::take(&mut pending[ci])
-                    .into_iter()
-                    .map(|r| r.expect("all runs delivered"))
-                    .collect();
-                let campaign = CampaignResult::from_runs(cell_runs);
-                let cell = &cells[ci];
-                let report = CellReport::from_campaign(
-                    cell.labels.clone(),
-                    cell.seed,
-                    &campaign,
-                    &def.report.percentiles,
-                    &cell.spec,
-                );
-                done_cells += 1;
-                progress(done_cells, total, &report);
-                reports[ci] = Some(report);
+            let wi = i / runs;
+            let ci = work[wi];
+            pending[wi].record(i % runs, outcome);
+            if !pending[wi].is_complete() {
+                return;
             }
+            let cell = &cells[ci];
+            let report = std::mem::take(&mut pending[wi]).finish(
+                cell.labels.clone(),
+                cell.seed,
+                &def.report.percentiles,
+                &cell.spec,
+            );
+            if let Some(j) = &mut journal {
+                match j.append(ci, &report) {
+                    Ok(()) => {
+                        if plan.kills_after(j.records()) {
+                            if plan.is_hard_kill() {
+                                // True crash semantics: no unwinding, no
+                                // cleanup, no flushing beyond the fsynced
+                                // journal — as close to SIGKILL as the
+                                // process can do to itself.
+                                eprintln!(
+                                    "cba: simulated crash after {} journal records",
+                                    j.records()
+                                );
+                                std::process::abort();
+                            }
+                            killed = Some(j.records());
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        journal_error = Some(e);
+                        return;
+                    }
+                }
+            }
+            done_cells += 1;
+            progress(done_cells, total, &report);
+            reports[ci] = Some(report);
         },
     );
+    if let Some(e) = journal_error {
+        return Err(ScenarioError::new(e));
+    }
+    if let Some(records) = killed {
+        return Err(ScenarioError::new(format!(
+            "interrupted: simulated kill after {records} journal records"
+        )));
+    }
     let mut reports: Vec<CellReport> = reports
         .into_iter()
         .map(|r| r.expect("every cell completed"))
@@ -388,6 +751,19 @@ impl ScenarioReport {
                 pairs.push(("seed".into(), Json::Num(c.seed as f64)));
                 pairs.push(("runs".into(), Json::Num(c.runs as f64)));
                 pairs.push(("unfinished".into(), Json::Num(c.unfinished as f64)));
+                pairs.push(("outcome".into(), Json::str(c.outcome.label())));
+                if let CellOutcome::Panicked(msg) = &c.outcome {
+                    pairs.push(("panic".into(), Json::str(msg.clone())));
+                }
+                if c.panicked > 0 {
+                    pairs.push(("panicked_runs".into(), Json::Num(c.panicked as f64)));
+                }
+                if c.budget_trips > 0 {
+                    pairs.push((
+                        "budget_tripped_runs".into(),
+                        Json::Num(c.budget_trips as f64),
+                    ));
+                }
                 pairs.push(("mean_cycles".into(), Json::Num(c.mean)));
                 pairs.push(("ci95".into(), Json::Num(c.ci95)));
                 pairs.push(("min".into(), Json::Num(c.min)));
@@ -461,6 +837,7 @@ impl ScenarioReport {
                 "seed",
                 "runs",
                 "unfinished",
+                "outcome",
                 "mean_cycles",
                 "ci95",
                 "min",
@@ -501,6 +878,7 @@ impl ScenarioReport {
             row.push(c.seed.to_string());
             row.push(c.runs.to_string());
             row.push(c.unfinished.to_string());
+            row.push(c.outcome.label().to_string());
             row.push(fmt_number(c.mean));
             row.push(fmt_number(c.ci95));
             row.push(fmt_number(c.min));
@@ -575,6 +953,15 @@ impl ScenarioReport {
             }
             if c.unfinished > 0 {
                 let _ = write!(out, "  [{} unfinished]", c.unfinished);
+            }
+            match &c.outcome {
+                CellOutcome::Ok => {}
+                CellOutcome::Panicked(msg) => {
+                    let _ = write!(out, "  [PANICKED x{}: {msg}]", c.panicked);
+                }
+                CellOutcome::Budget => {
+                    let _ = write!(out, "  [budget x{}]", c.budget_trips);
+                }
             }
             out.push('\n');
         }
@@ -665,7 +1052,7 @@ mod tests {
         let header = lines.next().unwrap();
         assert_eq!(
             header,
-            "setup,seed,runs,unfinished,mean_cycles,ci95,min,max,p50,p95,p99,utilization,normalized,normalized_ci95"
+            "setup,seed,runs,unfinished,outcome,mean_cycles,ci95,min,max,p50,p95,p99,utilization,normalized,normalized_ci95"
         );
         assert_eq!(lines.count(), 2, "one row per cell");
     }

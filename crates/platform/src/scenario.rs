@@ -312,6 +312,41 @@ impl Default for ReportSpec {
     }
 }
 
+/// The `[checkpoint]` section: crash-safety knobs for long campaigns.
+///
+/// `dir` names where the journal of completed cells lives (overridable by
+/// `cba_sim --checkpoint`); the budgets bound runaway cells. The cycle
+/// budget is deterministic (it caps the simulated-cycle count, so it
+/// trips identically on every host and thread count); the wall-clock
+/// budget is inherently host-dependent and therefore breaks the
+/// bit-identical determinism contract — reach for it only when a
+/// campaign must survive truly pathological cells.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointSpec {
+    /// Default checkpoint directory (`None` = checkpointing off unless
+    /// the CLI passes `--checkpoint DIR`).
+    pub dir: Option<String>,
+    /// Wall-clock budget per cell, in milliseconds: once a cell has been
+    /// executing this long, its remaining runs are skipped and the cell
+    /// reports [`CellOutcome::Budget`](crate::report::CellOutcome).
+    /// **Non-deterministic** — see the type docs.
+    pub cell_budget_ms: Option<u64>,
+    /// Simulated-cycle budget per run: caps each run's `max_cycles`, so a
+    /// run that would exceed it stops there, counts as unfinished, and
+    /// marks the cell [`CellOutcome::Budget`](crate::report::CellOutcome).
+    /// Deterministic.
+    pub run_budget_cycles: Option<u64>,
+}
+
+impl CheckpointSpec {
+    /// True when every key is at its default (the section renders only
+    /// when this is false, keeping pre-checkpoint scenario renders
+    /// byte-identical).
+    pub fn is_default(&self) -> bool {
+        *self == CheckpointSpec::default()
+    }
+}
+
 /// A parsed (or programmatically built) scenario: campaign metadata, the
 /// run template, the sweep axes and the report shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -330,6 +365,8 @@ pub struct ScenarioDef {
     pub axes: Vec<Axis>,
     /// Report shaping.
     pub report: ReportSpec,
+    /// Crash-safety knobs (`[checkpoint]` section).
+    pub checkpoint: CheckpointSpec,
 }
 
 /// One materialized grid point.
@@ -394,6 +431,7 @@ impl Default for ScenarioDef {
             template: Template::default(),
             axes: Vec::new(),
             report: ReportSpec::default(),
+            checkpoint: CheckpointSpec::default(),
         }
     }
 }
@@ -426,7 +464,8 @@ impl ScenarioDef {
                     .trim()
                     .to_ascii_lowercase();
                 match name.as_str() {
-                    "campaign" | "platform" | "tua" | "contenders" | "sweep" | "report" => {
+                    "campaign" | "platform" | "tua" | "contenders" | "sweep" | "report"
+                    | "checkpoint" => {
                         section = name;
                     }
                     "topology" => {
@@ -438,7 +477,8 @@ impl ScenarioDef {
                             lineno,
                             format!(
                                 "unknown section '[{other}]' (expected [campaign], [platform], \
-                                 [topology], [tua], [contenders], [sweep] or [report])"
+                                 [topology], [tua], [contenders], [sweep], [report] or \
+                                 [checkpoint])"
                             ),
                         ))
                     }
@@ -470,6 +510,7 @@ impl ScenarioDef {
                 "contenders" => def.parse_contenders_key(&key, value, lineno)?,
                 "sweep" => def.parse_sweep_key(&key, value, lineno)?,
                 "report" => def.parse_report_key(&key, value, lineno)?,
+                "checkpoint" => def.parse_checkpoint_key(&key, value, lineno)?,
                 _ => unreachable!("sections are validated above"),
             }
         }
@@ -822,6 +863,44 @@ impl ScenarioDef {
         Ok(())
     }
 
+    fn parse_checkpoint_key(
+        &mut self,
+        key: &str,
+        value: &str,
+        lineno: usize,
+    ) -> Result<(), ScenarioError> {
+        match key {
+            "dir" => self.checkpoint.dir = Some(value.to_string()),
+            "cell_budget_ms" => {
+                let ms: u64 = parse_num(value, "cell_budget_ms", lineno)?;
+                if ms == 0 {
+                    return Err(ScenarioError::at(lineno, "cell_budget_ms must be positive"));
+                }
+                self.checkpoint.cell_budget_ms = Some(ms);
+            }
+            "run_budget_cycles" => {
+                let cycles: u64 = parse_num(value, "run_budget_cycles", lineno)?;
+                if cycles == 0 {
+                    return Err(ScenarioError::at(
+                        lineno,
+                        "run_budget_cycles must be positive",
+                    ));
+                }
+                self.checkpoint.run_budget_cycles = Some(cycles);
+            }
+            other => {
+                return Err(ScenarioError::at(
+                    lineno,
+                    format!(
+                        "unknown [checkpoint] key '{other}' (expected dir, cell_budget_ms, \
+                         run_budget_cycles)"
+                    ),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Renders the definition back to canonical scenario-file text:
     /// `parse(render(def)) == def` for any parser-produced definition.
     /// (Programmatic [`TuaSpec::Inline`] / [`AxisValue::Profile`] values
@@ -936,7 +1015,38 @@ impl ScenarioDef {
             .map(|q| format!("{}", q * 100.0))
             .collect();
         let _ = writeln!(out, "percentiles = {}", pcts.join(","));
+        // Emitted only when configured, so scenarios predating the
+        // [checkpoint] section keep byte-identical canonical renders.
+        if !self.checkpoint.is_default() {
+            let _ = writeln!(out, "\n[checkpoint]");
+            if let Some(dir) = &self.checkpoint.dir {
+                let _ = writeln!(out, "dir = {dir}");
+            }
+            if let Some(ms) = self.checkpoint.cell_budget_ms {
+                let _ = writeln!(out, "cell_budget_ms = {ms}");
+            }
+            if let Some(cycles) = self.checkpoint.run_budget_cycles {
+                let _ = writeln!(out, "run_budget_cycles = {cycles}");
+            }
+        }
         out
+    }
+
+    /// A stable content hash of the scenario, keying the checkpoint
+    /// journal: resuming validates that the journal on disk was written
+    /// by *this* grid before skipping any cell.
+    ///
+    /// Hashed over the canonical [`render`](Self::render) with `threads`
+    /// and the checkpoint `dir` cleared — neither affects results, so a
+    /// resume may legitimately change them (`--threads 8` after an
+    /// interrupted `--threads 1` run must pick the journal up). Everything
+    /// that *does* shape results — seed, runs, template, axes, report
+    /// shape, budgets — is included.
+    pub fn scenario_hash(&self) -> u64 {
+        let mut canon = self.clone();
+        canon.threads = None;
+        canon.checkpoint.dir = None;
+        sim_core::export::fnv1a_64(canon.render().as_bytes())
     }
 
     /// Number of grid points (product of axis sizes; 1 with no sweep).

@@ -1,14 +1,21 @@
-//! Dependency-free structured-result emission: a minimal JSON value tree
-//! and CSV field escaping.
+//! Dependency-free structured-result emission: a minimal JSON value tree,
+//! CSV field escaping, and a little-endian binary record codec.
 //!
 //! Campaign reports need to leave the process in a machine-readable form
 //! (plots, regression dashboards, spreadsheet imports) without pulling in
 //! `serde` — the workspace builds offline with zero external crates. This
-//! module provides the two formats the scenario engine exports:
+//! module provides the formats the scenario engine exports:
 //!
 //! * [`Json`] — a small JSON value tree with a pretty renderer. Numbers
 //!   are `f64` (like JSON itself); non-finite values render as `null`.
 //! * [`csv_field`] — RFC-4180 field quoting for the CSV writer.
+//! * [`ByteWriter`] / [`ByteReader`] — a fixed little-endian binary codec
+//!   for on-disk records (the campaign checkpoint journal). Floats round
+//!   trip through their IEEE-754 bits, so a value read back is
+//!   bit-identical to the value written — the property the
+//!   interrupted-and-resumed ≡ single-shot determinism contract rests on.
+//! * [`crc32`] / [`fnv1a_64`] — the record checksum and the stable
+//!   content hash those records are keyed by.
 //!
 //! # Example
 //!
@@ -175,6 +182,184 @@ pub fn csv_field(s: &str) -> String {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes` —
+/// the per-record checksum of the campaign checkpoint journal. Bitwise
+/// (no table): journal records are small and written once per cell, so
+/// simplicity beats throughput here.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit hash of `bytes` — a stable, dependency-free content
+/// hash (the checkpoint journal keys itself to the hash of the canonical
+/// scenario text so a journal can never be replayed into a different
+/// scenario).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds a little-endian binary record (see the module docs).
+///
+/// The format is positional: the reader must consume fields in exactly
+/// the order the writer emitted them. Strings are length-prefixed UTF-8;
+/// options are a one-byte presence flag followed by the value; floats are
+/// written as their raw IEEE-754 bits.
+#[derive(Debug, Clone, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty record.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits (exact round trip,
+    /// including NaN payloads and signed zeros).
+    pub fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends an optional `f64` (presence byte + bits).
+    pub fn opt_f64(&mut self, x: Option<f64>) {
+        match x {
+            Some(v) => {
+                self.u8(1);
+                self.f64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, xs: &[f64]) {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+}
+
+/// Reads a [`ByteWriter`] record back, field by field. Every accessor
+/// fails (rather than panics) on a short or malformed buffer, so a
+/// corrupted journal record degrades into an error the replay loop can
+/// stop on.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps an encoded record.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "record ends early: wanted {n} more bytes, have {}",
+                self.remaining()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its raw bits.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "record string is not UTF-8".to_string())
+    }
+
+    /// Reads an optional `f64` (presence byte + bits).
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            other => Err(format!("bad option flag {other}")),
+        }
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let len = self.u32()? as usize;
+        // Sanity-cap before allocating: a corrupted length must not OOM.
+        if len > self.remaining() / 8 {
+            return Err(format!("record vector length {len} exceeds the record"));
+        }
+        (0..len).map(|_| self.f64()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +410,66 @@ mod tests {
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
         assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn byte_codec_round_trips_every_field_kind() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.str("héllo");
+        w.opt_f64(None);
+        w.opt_f64(Some(1.5e-300));
+        w.f64s(&[1.0, 2.5, f64::INFINITY]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(1.5e-300));
+        assert_eq!(r.f64s().unwrap(), vec![1.0, 2.5, f64::INFINITY]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn byte_reader_fails_cleanly_on_short_or_corrupt_records() {
+        let mut w = ByteWriter::new();
+        w.u32(9);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.u64().is_err(), "short read must fail, not panic");
+
+        // A huge vector length must be rejected before allocation.
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes).f64s().is_err());
+
+        // A bad option flag is an error.
+        let bytes = [2u8];
+        assert!(ByteReader::new(&bytes).opt_f64().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"), "single-bit sensitivity");
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
     }
 }

@@ -1,0 +1,528 @@
+//! Crash-safety differential harness — campaigns interrupted at
+//! randomized checkpoints and resumed must be **bit-identical** to an
+//! uninterrupted single-shot run, at any thread count.
+//!
+//! The contract under test (the determinism contract of `--checkpoint` /
+//! `--resume`):
+//!
+//! * every shipped `scenarios/*.scn`, killed mid-campaign via a seeded
+//!   [`FaultPlan`] kill-point and resumed on a *different* thread count,
+//!   reproduces the single-shot JSON and CSV byte for byte;
+//! * the same holds at every kill-point of a grid, and for randomly
+//!   generated scenarios (the same axes the random-differential harness
+//!   sweeps);
+//! * a panicking run is contained: the cell reports `outcome = panicked`
+//!   instead of aborting the campaign, deterministically across 1/2/8
+//!   threads;
+//! * a budget-tripped cell reports `outcome = budget` the same way;
+//! * a corrupted journal (truncated tail, flipped payload byte, version
+//!   skew, foreign magic, wrong scenario) recovers by replaying only the
+//!   valid prefix — wording pinned by `tests/data/journal_errors.golden.txt`
+//!   (regenerate with `UPDATE_GOLDENS=1 cargo test --test crash_resume`).
+
+use cba_platform::checkpoint::{FaultPlan, Journal, JOURNAL_FILE};
+use cba_platform::report::{run_scenario_controlled, RunControls, ScenarioReport};
+use cba_platform::scenario::ScenarioDef;
+use cba_platform::CellOutcome;
+use sim_core::rng::SimRng;
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+/// Silences the default panic hook for the injected panics only, so the
+/// containment tests don't spray backtraces over the test output. Real
+/// (unexpected) panics still print normally.
+fn quiet_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// A fresh, empty checkpoint directory under the target tmpdir.
+fn checkpoint_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("crash_resume")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+fn shipped(name: &str) -> ScenarioDef {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    ScenarioDef::parse(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"))
+}
+
+fn run_plain(def: &ScenarioDef) -> ScenarioReport {
+    run_scenario_controlled(def, &RunControls::default(), |_, _, _| {})
+        .expect("uninterrupted run succeeds")
+}
+
+/// The bytes a consumer would see: both export formats.
+fn fingerprint(report: &ScenarioReport) -> (String, String) {
+    (report.to_json(), report.to_csv())
+}
+
+/// Interrupts `def` after `kill_after` journal records (on `threads_hit`
+/// workers), resumes on `threads_resume` workers, and asserts the resumed
+/// report is bit-identical to `reference`.
+fn assert_resume_matches(
+    def: &mut ScenarioDef,
+    dir: &Path,
+    kill_after: usize,
+    threads_hit: usize,
+    threads_resume: usize,
+    reference: &ScenarioReport,
+    what: &str,
+) {
+    def.threads = Some(threads_hit);
+    let plan = FaultPlan::new().kill_after(kill_after);
+    let controls = RunControls {
+        checkpoint: Some(dir),
+        resume: false,
+        faults: Some(&plan),
+    };
+    let err = run_scenario_controlled(def, &controls, |_, _, _| {})
+        .expect_err("the kill-point must interrupt the campaign");
+    assert!(
+        err.to_string().contains("interrupted"),
+        "{what}: unexpected interruption error: {err}"
+    );
+
+    def.threads = Some(threads_resume);
+    let controls = RunControls {
+        checkpoint: Some(dir),
+        resume: true,
+        faults: None,
+    };
+    let resumed = run_scenario_controlled(def, &controls, |_, _, _| {})
+        .unwrap_or_else(|e| panic!("{what}: resume failed: {e}"));
+    assert_eq!(
+        fingerprint(&resumed),
+        fingerprint(reference),
+        "{what}: resumed report differs from the single-shot run \
+         (kill after {kill_after}, {threads_hit} -> {threads_resume} threads)"
+    );
+}
+
+/// Every shipped scenario, interrupted mid-grid and resumed on a
+/// different thread count, reproduces its single-shot report byte for
+/// byte — the acceptance criterion, over the whole `scenarios/` catalog.
+#[test]
+fn every_shipped_scenario_resumes_bit_identically() {
+    let mut rng = SimRng::seed_from(0xC0A5_7A5E);
+    let mut checked = 0;
+    let dir_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let mut names: Vec<String> = std::fs::read_dir(&dir_root)
+        .expect("scenarios/ exists")
+        .filter_map(|e| {
+            let p = e.expect("readable entry").path();
+            (p.extension().and_then(|x| x.to_str()) == Some("scn"))
+                .then(|| p.file_name().unwrap().to_str().unwrap().to_string())
+        })
+        .collect();
+    names.sort();
+    for name in names {
+        let mut def = shipped(&name);
+        def.runs = 2;
+        def.threads = Some(2);
+        let reference = run_plain(&def);
+        let cells = reference.cells.len();
+        // A randomized (but seeded, hence reproducible) kill-point
+        // strictly inside the grid.
+        let kill_after = 1 + rng.gen_range_usize(0..cells.max(2) - 1);
+        let dir = checkpoint_dir(&format!("shipped_{name}"));
+        assert_resume_matches(&mut def, &dir, kill_after, 1, 4, &reference, &name);
+        checked += 1;
+    }
+    assert!(checked >= 8, "expected the shipped grids, found {checked}");
+}
+
+/// Every kill-point of a grid is a valid resume point, and the resumed
+/// report is identical at 1, 2 and 8 worker threads.
+#[test]
+fn every_kill_point_and_thread_count_resumes_bit_identically() {
+    let mut def = shipped("paper_illustrative.scn");
+    def.runs = 3;
+    def.threads = Some(1);
+    let reference = run_plain(&def);
+    let cells = reference.cells.len();
+    for kill_after in 1..cells {
+        for threads in [1usize, 2, 8] {
+            let dir = checkpoint_dir(&format!("kp_{kill_after}_t{threads}"));
+            assert_resume_matches(
+                &mut def,
+                &dir,
+                kill_after,
+                threads,
+                threads,
+                &reference,
+                "paper_illustrative",
+            );
+        }
+    }
+}
+
+/// A seeded generator in the spirit of the random-differential harness:
+/// random platform/policy/load/sweep combinations, each interrupted and
+/// resumed across thread counts.
+fn gen_scenario(rng: &mut SimRng, index: usize) -> ScenarioDef {
+    let policies = ["fifo", "rr", "tdma", "lot", "rp", "pri"];
+    let cba = ["none", "homog", "w:3:1:1:1"];
+    let accesses = 100 + rng.gen_range_u64(0..300);
+    let sweep = match rng.gen_range_usize(0..3) {
+        0 => "setup = rp, cba, hcba\nscenario = iso, con".to_string(),
+        1 => format!(
+            "policy = {}, {}\nscenario = iso, con",
+            policies[rng.gen_range_usize(0..policies.len())],
+            policies[rng.gen_range_usize(0..policies.len() - 1)],
+        ),
+        _ => "caps = 1:1:1:1, 2:1:1:1\nscenario = con".to_string(),
+    };
+    let text = format!(
+        "[campaign]\nname = random_{index}\nruns = 2\nseed = {}\n\
+         [platform]\ncores = 4\ncba = {}\n\
+         [tua]\nload = fixed:{accesses}:6:4\n\
+         [contenders]\nscenario = con\nstop = tua\n\
+         [sweep]\n{sweep}\n",
+        rng.next_u64() & 0xFFFF_FFFF,
+        cba[rng.gen_range_usize(0..cba.len())],
+    );
+    ScenarioDef::parse(&text).unwrap_or_else(|e| panic!("generated scenario invalid: {e}\n{text}"))
+}
+
+#[test]
+fn random_scenarios_resume_bit_identically() {
+    let mut rng = SimRng::seed_from(0xD1FF_C0A5);
+    for index in 0..6 {
+        let mut def = gen_scenario(&mut rng, index);
+        def.threads = Some(4);
+        let reference = run_plain(&def);
+        let cells = reference.cells.len();
+        let kill_after = 1 + rng.gen_range_usize(0..cells.max(2) - 1);
+        let threads_hit = 1 + rng.gen_range_usize(0..8);
+        let threads_resume = 1 + rng.gen_range_usize(0..8);
+        let dir = checkpoint_dir(&format!("random_{index}"));
+        assert_resume_matches(
+            &mut def,
+            &dir,
+            kill_after,
+            threads_hit,
+            threads_resume,
+            &reference,
+            &format!("random scenario {index}"),
+        );
+    }
+}
+
+/// A panicking run is contained to its cell: the campaign completes, the
+/// cell carries `outcome = panicked` with the panic message, the healthy
+/// runs still aggregate, and the whole report is deterministic across
+/// 1/2/8 threads.
+#[test]
+fn panicking_run_yields_a_cell_outcome_row() {
+    quiet_injected_panics();
+    let mut def = shipped("paper_illustrative.scn");
+    def.runs = 3;
+    let plan = FaultPlan::new().panic_at(0, 1).panic_at(2, 0);
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        def.threads = Some(threads);
+        let controls = RunControls {
+            checkpoint: None,
+            resume: false,
+            faults: Some(&plan),
+        };
+        let report = run_scenario_controlled(&def, &controls, |_, _, _| {})
+            .expect("a panicking run must not abort the campaign");
+        reports.push(fingerprint(&report));
+
+        let cell = &report.cells[0];
+        match &cell.outcome {
+            CellOutcome::Panicked(msg) => {
+                assert!(msg.contains("injected fault"), "unexpected message: {msg}")
+            }
+            other => panic!("cell 0 should be panicked, got {other:?}"),
+        }
+        assert_eq!(cell.panicked, 1);
+        assert_eq!(cell.runs, 2, "the two healthy runs still aggregate");
+        assert!(report.cells[1].outcome.is_ok());
+        assert!(report.render_table().contains("[PANICKED x1"));
+        assert!(report.to_csv().lines().nth(1).unwrap().contains("panicked"));
+    }
+    assert_eq!(reports[0], reports[1], "1 vs 2 threads");
+    assert_eq!(reports[0], reports[2], "1 vs 8 threads");
+}
+
+/// A budget-tripped cell reports `outcome = budget` (skipped runs
+/// counted) instead of stalling the campaign, deterministically.
+#[test]
+fn budget_tripped_cell_yields_a_budget_outcome_row() {
+    let mut def = shipped("paper_illustrative.scn");
+    def.runs = 4;
+    let plan = FaultPlan::new().budget_trip_from(1, 1);
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        def.threads = Some(threads);
+        let controls = RunControls {
+            checkpoint: None,
+            resume: false,
+            faults: Some(&plan),
+        };
+        let report = run_scenario_controlled(&def, &controls, |_, _, _| {})
+            .expect("a budget trip must not abort the campaign");
+        reports.push(fingerprint(&report));
+
+        let cell = &report.cells[1];
+        assert_eq!(cell.outcome, CellOutcome::Budget);
+        assert_eq!(cell.budget_trips, 3, "runs 1..4 are skipped");
+        assert_eq!(cell.runs, 1, "run 0 still aggregates");
+        assert!(report.render_table().contains("[budget x3]"));
+    }
+    assert_eq!(reports[0], reports[1], "1 vs 2 threads");
+    assert_eq!(reports[0], reports[2], "1 vs 8 threads");
+}
+
+/// Seeded fault plans (the harness the issue asks for) are themselves
+/// deterministic end to end: the same seed produces the same degraded
+/// report at any thread count, and checkpoint/resume still holds under
+/// injected faults.
+#[test]
+fn seeded_fault_plan_is_deterministic_and_resumable() {
+    quiet_injected_panics();
+    let mut def = shipped("paper_illustrative.scn");
+    def.runs = 3;
+    let cells = def.n_cells();
+    let plan = FaultPlan::seeded(7, cells, def.runs);
+
+    def.threads = Some(1);
+    let controls = RunControls {
+        checkpoint: None,
+        resume: false,
+        faults: Some(&plan),
+    };
+    let reference =
+        run_scenario_controlled(&def, &controls, |_, _, _| {}).expect("degraded run completes");
+    assert!(
+        reference.cells.iter().any(|c| !c.outcome.is_ok()),
+        "seed 7 should inject at least one fault into {cells} cells"
+    );
+    for threads in [2usize, 8] {
+        def.threads = Some(threads);
+        let report =
+            run_scenario_controlled(&def, &controls, |_, _, _| {}).expect("degraded run completes");
+        assert_eq!(
+            fingerprint(&report),
+            fingerprint(&reference),
+            "{threads} threads"
+        );
+    }
+
+    // Interrupt the faulted campaign and resume it (same plan both
+    // times): still bit-identical to the uninterrupted faulted run.
+    let dir = checkpoint_dir("seeded_faults");
+    def.threads = Some(2);
+    let interrupted = RunControls {
+        checkpoint: Some(&dir),
+        resume: false,
+        faults: Some(&plan.clone().kill_after(1)),
+    };
+    run_scenario_controlled(&def, &interrupted, |_, _, _| {})
+        .expect_err("kill-point must interrupt");
+    let resumed_controls = RunControls {
+        checkpoint: Some(&dir),
+        resume: true,
+        faults: Some(&plan),
+    };
+    let resumed =
+        run_scenario_controlled(&def, &resumed_controls, |_, _, _| {}).expect("resume completes");
+    assert_eq!(fingerprint(&resumed), fingerprint(&reference));
+}
+
+/// Byte offsets of each record in a journal (after the fixed header).
+fn record_offsets(bytes: &[u8]) -> Vec<(usize, usize)> {
+    const HEADER_LEN: usize = 28;
+    const RECORD_HEADER_LEN: usize = 12;
+    let mut offsets = Vec::new();
+    let mut at = HEADER_LEN;
+    while at + RECORD_HEADER_LEN <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap()) as usize;
+        if at + RECORD_HEADER_LEN + len > bytes.len() {
+            break;
+        }
+        offsets.push((at, RECORD_HEADER_LEN + len));
+        at += RECORD_HEADER_LEN + len;
+    }
+    offsets
+}
+
+/// Every corruption class recovers by replaying only the valid prefix
+/// (or failing hard where silently dropping work would be worse), with
+/// pinned one-line messages — and a resume on top of the corrupted
+/// journal still converges to the single-shot report.
+#[test]
+fn corrupted_journals_recover_with_pinned_messages() {
+    let mut def = shipped("paper_illustrative.scn");
+    def.runs = 2;
+    def.threads = Some(1);
+    let reference = run_plain(&def);
+    let hash = def.scenario_hash();
+    let total = def.n_cells();
+
+    // A healthy interrupted journal with 3 records to corrupt copies of.
+    let dir = checkpoint_dir("corruption_master");
+    let plan = FaultPlan::new().kill_after(3);
+    let controls = RunControls {
+        checkpoint: Some(&dir),
+        resume: false,
+        faults: Some(&plan),
+    };
+    run_scenario_controlled(&def, &controls, |_, _, _| {}).expect_err("interrupted");
+    let healthy = std::fs::read(dir.join(JOURNAL_FILE)).expect("journal exists");
+    let records = record_offsets(&healthy);
+    assert_eq!(records.len(), 3, "kill-point wrote exactly 3 records");
+
+    // name, corrupted bytes, records expected to survive the replay.
+    let last = *records.last().unwrap();
+    let mut bad_crc = healthy.clone();
+    bad_crc[last.0 + 20] ^= 0xFF; // a payload byte of record 3
+    let mut version_skew = healthy.clone();
+    version_skew[8] = 9; // version field (after the 8-byte magic)
+    let mut bad_magic = healthy.clone();
+    bad_magic[..8].copy_from_slice(b"NOTJRNL\n");
+    let cases: Vec<(&str, Vec<u8>, usize)> = vec![
+        (
+            "truncated_tail_payload",
+            healthy[..healthy.len() - 4].to_vec(),
+            2,
+        ),
+        ("truncated_record_header", healthy[..last.0 + 5].to_vec(), 2),
+        ("bad_record_crc", bad_crc, 2),
+        ("version_skew", version_skew, 0),
+        ("short_header", healthy[..10].to_vec(), 0),
+        ("bad_magic", bad_magic, 0),
+        ("foreign_scenario_hash", healthy.clone(), 3),
+    ];
+
+    let mut snapshot = String::new();
+    for (name, bytes, survivors) in cases {
+        let dir = checkpoint_dir(&format!("corruption_{name}"));
+        let path = dir.join(JOURNAL_FILE);
+        std::fs::write(&path, &bytes).expect("write corrupted journal");
+        // The foreign-hash case resumes with a *different* scenario hash.
+        let resume_hash = if name == "foreign_scenario_hash" {
+            hash ^ 0xBAD
+        } else {
+            hash
+        };
+        let line = match Journal::resume(&dir, resume_hash, total, def.runs) {
+            Ok((journal, replay)) => {
+                assert_eq!(journal.records(), survivors, "{name}");
+                assert_eq!(replay.cells.len(), survivors, "{name}");
+                // The valid prefix replays the exact same cell reports.
+                for (ci, cell) in &replay.cells {
+                    assert_eq!(
+                        cell.mean, reference.cells[*ci].mean,
+                        "{name}: replayed cell {ci} drifted"
+                    );
+                }
+                drop(journal);
+                // And a full resume over the truncated journal converges
+                // to the single-shot report.
+                def.threads = Some(2);
+                let controls = RunControls {
+                    checkpoint: Some(&dir),
+                    resume: true,
+                    faults: None,
+                };
+                let resumed = run_scenario_controlled(&def, &controls, |_, _, _| {})
+                    .expect("resume after recovery");
+                assert_eq!(fingerprint(&resumed), fingerprint(&reference), "{name}");
+                match replay.notices.as_slice() {
+                    [] => "(no notice; clean replay)".to_string(),
+                    [notice] => notice.clone(),
+                    more => panic!("{name}: expected at most one notice, got {more:?}"),
+                }
+            }
+            Err(e) => format!("error: {e}"),
+        };
+        snapshot.push_str(name);
+        snapshot.push_str("\n  ");
+        snapshot.push_str(&normalize(&line, &dir));
+        snapshot.push('\n');
+    }
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/journal_errors.golden.txt");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&golden_path, &snapshot).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "{golden_path:?}: {e}\nrun UPDATE_GOLDENS=1 cargo test --test crash_resume to create it"
+        )
+    });
+    assert_eq!(
+        snapshot, golden,
+        "journal recovery messages drifted; if intentional, regenerate with \
+         UPDATE_GOLDENS=1 cargo test --test crash_resume"
+    );
+}
+
+/// Replaces the run-specific checkpoint directory and scenario hashes
+/// with stable placeholders so the golden is machine-independent.
+fn normalize(line: &str, dir: &Path) -> String {
+    let mut out = line.replace(&dir.display().to_string(), "<DIR>");
+    while let Some(at) = out.find("0x") {
+        let hex_len = out[at + 2..]
+            .chars()
+            .take_while(|c| c.is_ascii_hexdigit())
+            .count();
+        if hex_len == 0 {
+            break;
+        }
+        out.replace_range(at..at + 2 + hex_len, "<HASH>");
+    }
+    out
+}
+
+/// A fresh (non-resume) checkpointed run matches the plain run too — the
+/// journaling layer must not perturb the statistics it records.
+#[test]
+fn checkpointing_does_not_perturb_results() {
+    let mut def = shipped("paper_illustrative.scn");
+    def.runs = 2;
+    def.threads = Some(2);
+    let reference = run_plain(&def);
+    let dir = checkpoint_dir("no_perturb");
+    let controls = RunControls {
+        checkpoint: Some(&dir),
+        resume: false,
+        faults: None,
+    };
+    let journaled =
+        run_scenario_controlled(&def, &controls, |_, _, _| {}).expect("journaled run completes");
+    assert_eq!(fingerprint(&journaled), fingerprint(&reference));
+    // Resuming a *finished* journal recomputes nothing and still matches.
+    let controls = RunControls {
+        checkpoint: Some(&dir),
+        resume: true,
+        faults: None,
+    };
+    let replayed =
+        run_scenario_controlled(&def, &controls, |_, _, _| {}).expect("full replay completes");
+    assert_eq!(fingerprint(&replayed), fingerprint(&reference));
+}

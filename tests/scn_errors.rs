@@ -93,6 +93,19 @@ const CASES: &[(&str, &str)] = &[
         "invalid_sweep_axis_value",
         "[campaign]\nname = x\n[sweep]\npolicy = rr,warp\n",
     ),
+    // -- bad [checkpoint] keys ----------------------------------------------
+    (
+        "unknown_checkpoint_key",
+        "[campaign]\nname = x\n[checkpoint]\nflush = always\n",
+    ),
+    (
+        "zero_cell_budget_ms",
+        "[campaign]\nname = x\n[checkpoint]\ncell_budget_ms = 0\n",
+    ),
+    (
+        "zero_run_budget_cycles",
+        "[campaign]\nname = x\n[checkpoint]\nrun_budget_cycles = 0\n",
+    ),
     // -- assorted out-of-range scalars --------------------------------------
     ("zero_runs", "[campaign]\nname = x\nruns = 0\n"),
     (
@@ -176,7 +189,8 @@ fn control_scenario_with_every_section_parses() {
                 [tua]\nload = fixed:20:6:4\n\
                 [contenders]\nscenario = con\nstop = tua\n\
                 [sweep]\npolicy = rr,fifo\n\
-                [report]\npercentiles = 50,90\n";
+                [report]\npercentiles = 50,90\n\
+                [checkpoint]\ndir = /tmp/unused\nrun_budget_cycles = 200000\n";
     let def = ScenarioDef::parse(text).expect("control scenario parses");
     let cells = def.expand().expect("control scenario expands");
     assert_eq!(cells.len(), 2);
