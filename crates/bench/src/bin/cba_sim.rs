@@ -83,7 +83,9 @@ scenario-file format (see scenarios/README.md for the commented example):
                   tua, fill, clusters, bridge_latency, bridge_depth,
                   cluster_cba, backbone_cba, and the [tua] profile knobs
     [report]      baseline = axis=value,... (normalize each group to the
-                  matching cell, like Fig. 1's RP-ISO), percentiles = 50,95,99
+                  matching cell, like Fig. 1's RP-ISO), percentiles = 50,95,99,
+                  pwcet = 1e-9,1e-12 (per-run exceedance probabilities:
+                  Gumbel pWCET bounds, fit parameters and iid-verdict columns)
     [checkpoint]  dir (journal directory; --checkpoint overrides it),
                   cell_budget_ms (wall-clock budget per cell — runs past
                   it are skipped and counted; non-deterministic),

@@ -28,6 +28,30 @@ impl Default for MbptaConfig {
     }
 }
 
+/// Largest cycle count an `f64` represents exactly (2^53).
+///
+/// Campaign latency samples are `u64` cycle counts end-to-end; the
+/// conversion to the fit's `f64` domain happens at the [`PWcetModel`]
+/// boundary, and anything above this bound would round silently.
+pub const MAX_EXACT_CYCLES: u64 = 1 << 53;
+
+/// Converts `u64` cycle samples to `f64` exactly, for fitting.
+///
+/// # Errors
+///
+/// [`MbptaError::InvalidParameter`] if any sample exceeds
+/// [`MAX_EXACT_CYCLES`]: above 2^53 the conversion rounds, which would
+/// break the bit-exact reproducibility campaigns rely on. (2^53 cycles
+/// is ~104 days at 1 GHz, so rejecting is safe for any plausible run.)
+pub fn cycles_to_f64(samples: &[u64]) -> Result<Vec<f64>, MbptaError> {
+    if let Some(&big) = samples.iter().find(|&&s| s > MAX_EXACT_CYCLES) {
+        return Err(MbptaError::InvalidParameter(format!(
+            "sample {big} exceeds 2^53 and does not convert to f64 exactly"
+        )));
+    }
+    Ok(samples.iter().map(|&s| s as f64).collect())
+}
+
 /// A fitted pWCET model.
 ///
 /// The Gumbel distribution is fitted to block maxima of `block_size` runs;
@@ -102,6 +126,11 @@ impl PWcetModel {
         self.n_samples
     }
 
+    /// Number of block maxima behind the fit.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
     /// The execution-time bound exceeded with probability at most `p` per
     /// **run**.
     ///
@@ -121,9 +150,18 @@ impl PWcetModel {
 
     /// The per-run exceedance probability of threshold `x` under the
     /// model.
+    ///
+    /// Computed from the Gumbel parameters directly: going through the
+    /// CDF collapses to 0 once `G(x)` rounds to 1.0 (a few dozen `beta`
+    /// past `mu`), flattening exactly the deep tail a pWCET curve
+    /// exists to resolve.
     pub fn exceedance(&self, x: f64) -> f64 {
-        let g = self.gumbel.cdf(x).clamp(1e-300, 1.0);
-        1.0 - g.powf(1.0 / self.block_size as f64)
+        // -ln G(x) = exp(-(x - mu) / beta), exact far past where
+        // cdf(x) saturates; stays resolvable down to ~1e-300.
+        let neg_ln_g = (-(x - self.gumbel.mu) / self.gumbel.beta).exp();
+        // P(run > x) = 1 - exp(-(-ln G) / b), expm1-stable for tiny
+        // arguments.
+        -(-neg_ln_g / self.block_size as f64).exp_m1()
     }
 
     /// Samples the pWCET curve at the given per-run exceedance
@@ -142,6 +180,32 @@ impl PWcetModel {
         let report = IidReport::analyze(samples)?;
         let model = Self::fit(samples, config)?;
         Ok((model, report))
+    }
+
+    /// [`PWcetModel::fit`] over native `u64` cycle counts.
+    ///
+    /// # Errors
+    ///
+    /// As [`PWcetModel::fit`], plus [`MbptaError::InvalidParameter`] for
+    /// samples above [`MAX_EXACT_CYCLES`] (see [`cycles_to_f64`]).
+    pub fn fit_u64(samples: &[u64], config: MbptaConfig) -> Result<Self, MbptaError> {
+        Self::fit(&cycles_to_f64(samples)?, config)
+    }
+
+    /// [`PWcetModel::analyze`] over native `u64` cycle counts.
+    ///
+    /// The iid battery is order-sensitive, so `samples` must be in
+    /// observation (run-index) order, not sorted.
+    ///
+    /// # Errors
+    ///
+    /// As [`PWcetModel::analyze`], plus [`MbptaError::InvalidParameter`]
+    /// for samples above [`MAX_EXACT_CYCLES`] (see [`cycles_to_f64`]).
+    pub fn analyze_u64(
+        samples: &[u64],
+        config: MbptaConfig,
+    ) -> Result<(Self, IidReport), MbptaError> {
+        Self::analyze(&cycles_to_f64(samples)?, config)
     }
 }
 
@@ -266,6 +330,46 @@ mod tests {
             PWcetModel::fit(&samples[..100], config),
             Err(MbptaError::TooFewSamples { .. })
         ));
+    }
+
+    #[test]
+    fn deep_tail_exceedance_does_not_underflow() {
+        let samples = exec_times(2_000, 29);
+        let model = PWcetModel::fit(&samples, MbptaConfig::default()).unwrap();
+        // Far past where cdf(x) rounds to 1.0, exceedance must still
+        // invert the quantile instead of collapsing to 0.
+        for p in [1e-12, 1e-16, 1e-30, 1e-100] {
+            let x = model.quantile_per_run(p);
+            let back = model.exceedance(x);
+            assert!(
+                back > 0.0 && (back / p - 1.0).abs() < 0.01,
+                "p={p}: exceedance({x}) = {back}"
+            );
+        }
+        // And the curve itself stays strictly monotone in the deep tail.
+        assert!(
+            model.exceedance(model.quantile_per_run(1e-100))
+                < model.exceedance(model.quantile_per_run(1e-30))
+        );
+    }
+
+    #[test]
+    fn u64_ingestion_matches_f64_and_guards_2_53() {
+        let samples_u: Vec<u64> = exec_times(1_000, 30).iter().map(|&s| s as u64).collect();
+        let samples_f: Vec<f64> = samples_u.iter().map(|&s| s as f64).collect();
+        let (model_u, iid_u) = PWcetModel::analyze_u64(&samples_u, MbptaConfig::default()).unwrap();
+        let (model_f, iid_f) = PWcetModel::analyze(&samples_f, MbptaConfig::default()).unwrap();
+        assert_eq!(model_u, model_f);
+        assert_eq!(iid_u.ks.p_value.to_bits(), iid_f.ks.p_value.to_bits());
+
+        let mut huge = samples_u.clone();
+        huge[7] = MAX_EXACT_CYCLES + 1;
+        assert!(matches!(
+            PWcetModel::fit_u64(&huge, MbptaConfig::default()),
+            Err(MbptaError::InvalidParameter(_))
+        ));
+        // Exactly 2^53 is still exact and accepted.
+        assert!(cycles_to_f64(&[MAX_EXACT_CYCLES]).is_ok());
     }
 
     #[test]

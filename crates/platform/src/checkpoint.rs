@@ -29,7 +29,7 @@
 //! writes, so `tests/crash_resume.rs` can kill campaigns at arbitrary
 //! checkpoints and prove resume correctness deterministically.
 
-use crate::report::{CellOutcome, CellReport};
+use crate::report::{CellOutcome, CellReport, PwcetCell, PwcetFit};
 use sim_core::export::{crc32, ByteReader, ByteWriter};
 use sim_core::rng::SimRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -41,7 +41,10 @@ use std::path::{Path, PathBuf};
 pub const JOURNAL_FILE: &str = "campaign.journal";
 
 /// Journal format version this build reads and writes.
-pub const JOURNAL_VERSION: u32 = 1;
+///
+/// Version 2 added the pWCET columns (`[report] pwcet`) to the cell
+/// codec; version-1 journals are discarded with a notice on resume.
+pub const JOURNAL_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"CBACKPT\n";
 /// magic + version + scenario hash + total cells + runs per cell.
@@ -353,6 +356,34 @@ pub fn encode_cell_report(r: &CellReport) -> Vec<u8> {
             }
         }
     }
+    match &r.pwcet {
+        None => w.u8(0),
+        Some(p) => {
+            w.u8(1);
+            w.f64s(&p.probs);
+            match &p.fit {
+                None => w.u8(0),
+                Some(f) => {
+                    w.u8(1);
+                    w.f64s(&f.bounds);
+                    w.f64(f.mu);
+                    w.f64(f.beta);
+                    w.u32(f.blocks);
+                    w.f64(f.ks_p);
+                    w.f64(f.lb_p);
+                    w.f64(f.runs_p);
+                    w.u8(f.iid_ok as u8);
+                }
+            }
+            match &p.diag {
+                None => w.u8(0),
+                Some(d) => {
+                    w.u8(1);
+                    w.str(d);
+                }
+            }
+        }
+    }
     w.into_bytes()
 }
 
@@ -420,6 +451,37 @@ pub fn decode_cell_report(bytes: &[u8]) -> Result<CellReport, String> {
         }
         other => return Err(format!("bad option flag {other}")),
     };
+    let pwcet = match r.u8()? {
+        0 => None,
+        1 => {
+            let probs = r.f64s()?;
+            let fit = match r.u8()? {
+                0 => None,
+                1 => Some(PwcetFit {
+                    bounds: r.f64s()?,
+                    mu: r.f64()?,
+                    beta: r.f64()?,
+                    blocks: r.u32()?,
+                    ks_p: r.f64()?,
+                    lb_p: r.f64()?,
+                    runs_p: r.f64()?,
+                    iid_ok: match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => return Err(format!("bad iid_ok flag {other}")),
+                    },
+                }),
+                other => return Err(format!("bad option flag {other}")),
+            };
+            let diag = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                other => return Err(format!("bad option flag {other}")),
+            };
+            Some(PwcetCell { probs, fit, diag })
+        }
+        other => return Err(format!("bad option flag {other}")),
+    };
     if r.remaining() != 0 {
         return Err(format!("{} trailing bytes", r.remaining()));
     }
@@ -445,6 +507,7 @@ pub fn decode_cell_report(bytes: &[u8]) -> Result<CellReport, String> {
         cluster_fairness,
         window_jain,
         window_shares,
+        pwcet,
     })
 }
 
@@ -571,6 +634,20 @@ mod tests {
             cluster_fairness: Some(0.9),
             window_jain: Some(vec![1.0, 0.8]),
             window_shares: Some(vec![vec![0.1, 0.2], vec![0.3, 0.4]]),
+            pwcet: Some(PwcetCell {
+                probs: vec![1e-9, 1e-12],
+                fit: Some(PwcetFit {
+                    bounds: vec![61234.5, 73456.875],
+                    mu: 50_000.25,
+                    beta: 512.125,
+                    blocks: 30,
+                    ks_p: 0.42,
+                    lb_p: 0.17,
+                    runs_p: 0.91,
+                    iid_ok: true,
+                }),
+                diag: None,
+            }),
         }
     }
 
@@ -591,6 +668,24 @@ mod tests {
         assert_eq!(decoded.window_shares, report.window_shares);
         assert_eq!(decoded.panicked, report.panicked);
         assert_eq!(decoded.budget_trips, report.budget_trips);
+        assert_eq!(decoded.pwcet, report.pwcet);
+    }
+
+    #[test]
+    fn pwcet_diag_and_absent_pwcet_round_trip() {
+        let mut diag = sample_report();
+        diag.pwcet = Some(PwcetCell {
+            probs: vec![1e-9],
+            fit: None,
+            diag: Some("too few samples: got 2, need at least 100".into()),
+        });
+        let decoded = decode_cell_report(&encode_cell_report(&diag)).unwrap();
+        assert_eq!(decoded.pwcet, diag.pwcet);
+
+        let mut none = sample_report();
+        none.pwcet = None;
+        let decoded = decode_cell_report(&encode_cell_report(&none)).unwrap();
+        assert_eq!(decoded.pwcet, None);
     }
 
     #[test]

@@ -21,8 +21,9 @@ use crate::executor::{default_threads, run_indexed_streamed};
 use crate::platform::{run_once, RunResult, RunSpec};
 use crate::probes::WindowedFairness;
 use crate::scenario::{ScenarioDef, ScenarioError};
+use cba_mbpta::pwcet::{MbptaConfig, PWcetModel};
 use sim_core::export::{csv_field, fmt_number, Json};
-use sim_core::stats::Summary;
+use sim_core::stats::{percentile_sorted, Summary};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 
@@ -113,6 +114,49 @@ pub struct CellReport {
     /// Mean (over runs) per-window per-core share matrix
     /// (`[window][core]`); windowed cells only.
     pub window_shares: Option<Vec<Vec<f64>>>,
+    /// pWCET tail columns; cells of scenarios with `[report] pwcet =
+    /// P1,P2,...` only.
+    pub pwcet: Option<PwcetCell>,
+}
+
+/// Per-cell pWCET columns (`[report] pwcet = P1,P2,...`): the requested
+/// per-run exceedance probabilities plus either the fitted tail model or
+/// the [`cba_mbpta::MbptaError`] diagnostic explaining why this cell has
+/// none. Fit failures (too few samples, degenerate/constant latencies,
+/// no MLE convergence) are data, not faults: they surface as a
+/// diagnostic column and never abort the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PwcetCell {
+    /// Requested per-run exceedance probabilities, in scenario order.
+    pub probs: Vec<f64>,
+    /// The fitted tail columns; `None` when the fit or iid battery
+    /// failed on this cell's samples.
+    pub fit: Option<PwcetFit>,
+    /// The `MbptaError` rendering when `fit` is `None`.
+    pub diag: Option<String>,
+}
+
+/// The fitted pWCET column values of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PwcetFit {
+    /// `pwcet@P` execution-time bounds (cycles), one per probability in
+    /// [`PwcetCell::probs`].
+    pub bounds: Vec<f64>,
+    /// Fitted Gumbel location (block-maxima scale).
+    pub mu: f64,
+    /// Fitted Gumbel scale.
+    pub beta: f64,
+    /// Number of block maxima behind the fit.
+    pub blocks: u32,
+    /// Split-half Kolmogorov–Smirnov p-value.
+    pub ks_p: f64,
+    /// Ljung–Box (20 lags) p-value.
+    pub lb_p: f64,
+    /// Wald–Wolfowitz runs-test p-value.
+    pub runs_p: f64,
+    /// All three iid tests pass at α = 0.05 (the MBPTA convention); a
+    /// failing battery still reports the fit, flagged.
+    pub iid_ok: bool,
 }
 
 impl CellReport {
@@ -161,7 +205,7 @@ impl CellReport {
                 RunOutcome::Done(Box::new(RunTally::from_run(r.clone(), spec, None))),
             );
         }
-        acc.finish(labels, seed, qs, spec)
+        acc.finish(labels, seed, qs, &[], spec)
     }
 }
 
@@ -173,7 +217,10 @@ impl CellReport {
 #[derive(Debug, Clone)]
 pub(crate) struct RunTally {
     /// The execution-time sample (cycles); `None` for unfinished runs.
-    sample: Option<f64>,
+    /// Kept as the simulator's native `u64` — conversion to the f64
+    /// statistics domain happens once, at aggregation/fit time, so long
+    /// campaigns never round samples on the way in.
+    sample: Option<u64>,
     utilization: f64,
     /// TuA longest back-to-back grant burst (trace-recording runs).
     burst: Option<f64>,
@@ -189,10 +236,10 @@ pub(crate) struct RunTally {
 impl RunTally {
     pub(crate) fn from_run(r: RunResult, spec: &RunSpec, run_budget: Option<u64>) -> RunTally {
         let sample = match (r.finished, r.tua_cycles) {
-            (true, Some(t)) => Some(t as f64),
+            (true, Some(t)) => Some(t),
             // Horizon runs have no TuA completion; record the horizon
             // itself so fairness campaigns still aggregate.
-            (true, None) => Some(r.total_cycles as f64),
+            (true, None) => Some(r.total_cycles),
             _ => None,
         };
         let budget_tripped = !r.finished && run_budget.is_some_and(|b| r.total_cycles >= b);
@@ -274,9 +321,15 @@ impl CellAccumulator {
         labels: Vec<(String, String)>,
         seed: u64,
         qs: &[f64],
+        pwcet_probs: &[f64],
         spec: &RunSpec,
     ) -> CellReport {
-        let mut samples: Vec<f64> = Vec::new();
+        // Samples stay u64 (exact) until each consumer's conversion
+        // point: the Welford summary converts per value (exact below
+        // 2^53, same as the simulator's own cycle arithmetic), the
+        // percentile sort runs on u64, and the pWCET fit guards the
+        // conversion explicitly.
+        let mut samples: Vec<u64> = Vec::new();
         let mut summary = Summary::new();
         let mut unfinished = 0usize;
         let mut panicked = 0usize;
@@ -306,7 +359,7 @@ impl CellAccumulator {
                     match t.sample {
                         Some(s) => {
                             samples.push(s);
-                            summary.record(s);
+                            summary.record(s as f64);
                         }
                         None => unfinished += 1,
                     }
@@ -352,10 +405,20 @@ impl CellAccumulator {
         let percentiles = if samples.is_empty() {
             Vec::new()
         } else {
+            // Sort once per cell (u64 sort: exact, total order, no NaN
+            // edge cases) and interpolate every requested quantile on
+            // the same sorted view.
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let sorted: Vec<f64> = sorted.iter().map(|&s| s as f64).collect();
             qs.iter()
-                .map(|&q| (q, sim_core::stats::percentile(&samples, q)))
+                .map(|&q| (q, percentile_sorted(&sorted, q)))
                 .collect()
         };
+        // The pWCET fit consumes the samples in run-index order — the
+        // iid battery is order-sensitive, and index order is what stays
+        // bit-identical across thread counts and resumes.
+        let pwcet = (!pwcet_probs.is_empty()).then(|| fit_pwcet_columns(&samples, pwcet_probs));
         let (tua_max_burst, contender_max_gap) = if spec.record_trace {
             (Some(burst_sum / denom), Some(gap_sum / denom))
         } else {
@@ -415,7 +478,37 @@ impl CellAccumulator {
             cluster_fairness,
             window_jain,
             window_shares,
+            pwcet,
         }
+    }
+}
+
+/// Runs the full MBPTA protocol (iid battery + Gumbel block-maxima fit)
+/// on one cell's samples and reduces it to export columns. Every
+/// [`cba_mbpta::MbptaError`] becomes the cell's diagnostic column — a
+/// degenerate cell reports *why* it has no tail model instead of
+/// panicking or emitting NaN.
+fn fit_pwcet_columns(samples: &[u64], probs: &[f64]) -> PwcetCell {
+    match PWcetModel::analyze_u64(samples, MbptaConfig::default()) {
+        Ok((model, iid)) => PwcetCell {
+            probs: probs.to_vec(),
+            fit: Some(PwcetFit {
+                bounds: probs.iter().map(|&p| model.quantile_per_run(p)).collect(),
+                mu: model.gumbel().mu,
+                beta: model.gumbel().beta,
+                blocks: model.n_blocks() as u32,
+                ks_p: iid.ks.p_value,
+                lb_p: iid.ljung_box.p_value,
+                runs_p: iid.runs.p_value,
+                iid_ok: iid.passes(0.05),
+            }),
+            diag: None,
+        },
+        Err(e) => PwcetCell {
+            probs: probs.to_vec(),
+            fit: None,
+            diag: Some(e.to_string()),
+        },
     }
 }
 
@@ -630,6 +723,7 @@ pub fn run_scenario_controlled(
                 cell.labels.clone(),
                 cell.seed,
                 &def.report.percentiles,
+                &def.report.pwcet,
                 &cell.spec,
             );
             if let Some(j) = &mut journal {
@@ -812,6 +906,30 @@ impl ScenarioReport {
                         ),
                     ));
                 }
+                if let Some(p) = &c.pwcet {
+                    match &p.fit {
+                        Some(f) => {
+                            for (prob, bound) in p.probs.iter().zip(&f.bounds) {
+                                pairs.push((
+                                    format!("pwcet@{}", fmt_prob(*prob)),
+                                    Json::Num(*bound),
+                                ));
+                            }
+                            pairs.push(("gumbel_mu".into(), Json::Num(f.mu)));
+                            pairs.push(("gumbel_beta".into(), Json::Num(f.beta)));
+                            pairs.push(("gumbel_blocks".into(), Json::Num(f.blocks as f64)));
+                            pairs.push(("iid_ks_p".into(), Json::Num(f.ks_p)));
+                            pairs.push(("iid_lb_p".into(), Json::Num(f.lb_p)));
+                            pairs.push(("iid_runs_p".into(), Json::Num(f.runs_p)));
+                            pairs.push(("iid_ok".into(), Json::Bool(f.iid_ok)));
+                        }
+                        None => {
+                            if let Some(d) = &p.diag {
+                                pairs.push(("pwcet_diag".into(), Json::str(d.clone())));
+                            }
+                        }
+                    }
+                }
                 Json::Obj(pairs)
             })
             .collect();
@@ -871,6 +989,33 @@ impl ScenarioReport {
         if windowed {
             header.extend(["window_jain_mean", "window_jain_min"].map(String::from));
         }
+        // `[report] pwcet` applies scenario-wide, so every cell agrees
+        // on the probability list; cells whose fit failed pad the value
+        // columns empty and fill `pwcet_diag` instead.
+        let pwcet_probs = self
+            .cells
+            .iter()
+            .find_map(|c| c.pwcet.as_ref())
+            .map(|p| p.probs.clone())
+            .unwrap_or_default();
+        if !pwcet_probs.is_empty() {
+            for p in &pwcet_probs {
+                header.push(format!("pwcet@{}", fmt_prob(*p)));
+            }
+            header.extend(
+                [
+                    "gumbel_mu",
+                    "gumbel_beta",
+                    "gumbel_blocks",
+                    "iid_ks_p",
+                    "iid_lb_p",
+                    "iid_runs_p",
+                    "iid_ok",
+                    "pwcet_diag",
+                ]
+                .map(String::from),
+            );
+        }
         out.push_str(&header.join(","));
         out.push('\n');
         for c in &self.cells {
@@ -903,6 +1048,31 @@ impl ScenarioReport {
             if windowed {
                 row.push(c.window_jain_mean().map(fmt_number).unwrap_or_default());
                 row.push(c.window_jain_min().map(fmt_number).unwrap_or_default());
+            }
+            if !pwcet_probs.is_empty() {
+                let fit = c.pwcet.as_ref().and_then(|p| p.fit.as_ref());
+                match fit {
+                    Some(f) => {
+                        for b in &f.bounds {
+                            row.push(fmt_number(*b));
+                        }
+                        row.push(fmt_number(f.mu));
+                        row.push(fmt_number(f.beta));
+                        row.push(f.blocks.to_string());
+                        row.push(fmt_number(f.ks_p));
+                        row.push(fmt_number(f.lb_p));
+                        row.push(fmt_number(f.runs_p));
+                        row.push(if f.iid_ok { "pass" } else { "fail" }.into());
+                        row.push(String::new());
+                    }
+                    None => {
+                        for _ in 0..pwcet_probs.len() + 7 {
+                            row.push(String::new());
+                        }
+                        let diag = c.pwcet.as_ref().and_then(|p| p.diag.as_deref());
+                        row.push(csv_field(diag.unwrap_or_default()));
+                    }
+                }
             }
             out.push_str(&row.join(","));
             out.push('\n');
@@ -951,6 +1121,24 @@ impl ScenarioReport {
             if let (Some(mean), Some(min)) = (c.window_jain_mean(), c.window_jain_min()) {
                 let _ = write!(out, "  winJ {mean:.3}/{min:.3}");
             }
+            if let Some(p) = &c.pwcet {
+                match (&p.fit, p.probs.last()) {
+                    (Some(f), Some(&prob)) => {
+                        let bound = f.bounds.last().copied().unwrap_or(f64::NAN);
+                        let _ = write!(
+                            out,
+                            "  pWCET@{} {bound:.0}{}",
+                            fmt_prob(prob),
+                            if f.iid_ok { "" } else { " (iid?)" }
+                        );
+                    }
+                    _ => {
+                        if let Some(d) = &p.diag {
+                            let _ = write!(out, "  [pwcet: {d}]");
+                        }
+                    }
+                }
+            }
             if c.unfinished > 0 {
                 let _ = write!(out, "  [{} unfinished]", c.unfinished);
             }
@@ -967,6 +1155,13 @@ impl ScenarioReport {
         }
         out
     }
+}
+
+/// `1e-9`-style exceedance-probability labels for `pwcet@P` columns;
+/// `{:e}` round-trips through parse, so scenario files, column names and
+/// canonical renders all agree.
+fn fmt_prob(p: f64) -> String {
+    format!("{p:e}")
 }
 
 /// `0.95` → `"95"`, `0.999` → `"99.9"` (for `p95` / `p99.9` column names).

@@ -300,6 +300,12 @@ pub struct ReportSpec {
     /// `horizon:` stop it divides evenly). Per-window Jain indices and
     /// core shares surface as extra report columns.
     pub windows: Option<u32>,
+    /// Per-run exceedance probabilities for pWCET tail columns
+    /// (`pwcet = 1e-9,1e-12`): each cell's latency samples get the full
+    /// MBPTA treatment (iid battery + Gumbel block-maxima fit) and the
+    /// report grows `pwcet@P`, Gumbel-fit, and iid-verdict columns.
+    /// Empty = no pWCET analysis.
+    pub pwcet: Vec<f64>,
 }
 
 impl Default for ReportSpec {
@@ -308,6 +314,7 @@ impl Default for ReportSpec {
             baseline: Vec::new(),
             percentiles: vec![0.50, 0.95, 0.99],
             windows: None,
+            pwcet: Vec::new(),
         }
     }
 }
@@ -851,11 +858,27 @@ impl ScenarioDef {
                 }
                 self.report.windows = Some(n);
             }
+            "pwcet" => {
+                let mut ps = Vec::new();
+                for p in value.split(',') {
+                    let prob: f64 = p.trim().parse().map_err(|_| {
+                        ScenarioError::at(lineno, format!("bad pwcet probability '{}'", p.trim()))
+                    })?;
+                    if !(prob > 0.0 && prob < 1.0) {
+                        return Err(ScenarioError::at(
+                            lineno,
+                            format!("pwcet probability {prob} outside (0, 1)"),
+                        ));
+                    }
+                    ps.push(prob);
+                }
+                self.report.pwcet = ps;
+            }
             other => {
                 return Err(ScenarioError::at(
                     lineno,
                     format!(
-                        "unknown [report] key '{other}' (expected baseline, percentiles, windows)"
+                        "unknown [report] key '{other}' (expected baseline, percentiles, windows, pwcet)"
                     ),
                 ))
             }
@@ -1015,6 +1038,13 @@ impl ScenarioDef {
             .map(|q| format!("{}", q * 100.0))
             .collect();
         let _ = writeln!(out, "percentiles = {}", pcts.join(","));
+        // Only when configured: pre-pwcet scenarios keep byte-identical
+        // canonical renders (and scenario hashes, so their checkpoint
+        // journals stay resumable).
+        if !self.report.pwcet.is_empty() {
+            let ps: Vec<String> = self.report.pwcet.iter().map(|p| format!("{p:e}")).collect();
+            let _ = writeln!(out, "pwcet = {}", ps.join(","));
+        }
         // Emitted only when configured, so scenarios predating the
         // [checkpoint] section keep byte-identical canonical renders.
         if !self.checkpoint.is_default() {
@@ -2163,6 +2193,41 @@ windows = 8
         assert!(rendered.contains("windows = 8"), "{rendered}");
         let reparsed = ScenarioDef::parse(&rendered).unwrap();
         assert_eq!(def, reparsed, "windows key must round-trip");
+    }
+
+    #[test]
+    fn report_pwcet_key_parses_validates_and_round_trips() {
+        let text = "\
+[campaign]
+runs = 2
+[tua]
+load = fixed:10:5:0
+[report]
+pwcet = 1e-9,1e-12
+";
+        let def = ScenarioDef::parse(text).unwrap();
+        assert_eq!(def.report.pwcet, vec![1e-9, 1e-12]);
+
+        let rendered = def.render();
+        assert!(rendered.contains("pwcet = 1e-9,1e-12"), "{rendered}");
+        let reparsed = ScenarioDef::parse(&rendered).unwrap();
+        assert_eq!(def, reparsed, "pwcet key must round-trip");
+
+        // Probabilities are per-run exceedances: (0, 1) exclusive.
+        for bad in ["pwcet = 0", "pwcet = 1", "pwcet = -1e-9", "pwcet = nope"] {
+            let err = ScenarioDef::parse(&text.replace("pwcet = 1e-9,1e-12", bad)).unwrap_err();
+            assert!(
+                err.msg.contains("pwcet"),
+                "'{bad}' must name the key: {err}"
+            );
+        }
+
+        // A pwcet-free scenario renders without the key, so pre-pwcet
+        // scenario hashes (and their journals) are untouched.
+        let plain = ScenarioDef::parse("[campaign]\nruns = 2\n[tua]\nload = fixed:10:5:0\n")
+            .unwrap()
+            .render();
+        assert!(!plain.contains("pwcet"), "{plain}");
     }
 
     #[test]

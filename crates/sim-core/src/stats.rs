@@ -212,10 +212,15 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 
 /// Sorts a copy of `samples` and returns the `q`-quantile.
 ///
+/// NaNs sort after `+inf` (IEEE total order) instead of panicking, so a
+/// stray NaN inflates only the top quantiles rather than aborting a
+/// whole campaign. Callers evaluating several quantiles of one sample
+/// set should sort once and use [`percentile_sorted`] per quantile.
+///
 /// See [`percentile_sorted`] for conventions and panics.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
     let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    v.sort_by(f64::total_cmp);
     percentile_sorted(&v, q)
 }
 
@@ -403,6 +408,16 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_empty_panics() {
         let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan() {
+        // NaN sorts last under total_cmp: low quantiles stay usable,
+        // and nothing panics.
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert!((percentile(&v, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+        assert!(percentile(&v, 1.0).is_nan());
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! pWCET campaign columns end to end — `[report] pwcet = P1,P2,...`
+//! through the scenario engine, exports, and the crash-safety layer.
+//!
+//! The contract under test:
+//!
+//! * cells with healthy randomized samples get `pwcet@P`, Gumbel-fit and
+//!   iid-verdict columns in JSON, CSV and the terminal table, and the
+//!   bounds dominate every observation;
+//! * degenerate cells (constant latencies, too few runs) degrade to an
+//!   `MbptaError` diagnostic column — wording pinned by
+//!   `tests/data/pwcet_diag.golden.txt` (regenerate with
+//!   `UPDATE_GOLDENS=1 cargo test --test pwcet_campaign`) — never a
+//!   panic or a silent NaN;
+//! * the columns are bit-identical across 1/2/8 worker threads and
+//!   across an interrupted-and-resumed campaign, like every other
+//!   report statistic.
+
+use cba_platform::checkpoint::FaultPlan;
+use cba_platform::report::{run_scenario_controlled, RunControls, ScenarioReport};
+use cba_platform::scenario::ScenarioDef;
+use std::path::{Path, PathBuf};
+
+/// A grid whose samples genuinely vary (randomized cache + WCET-mode
+/// contenders), so the Gumbel fit and iid battery have something to say.
+/// 120 runs = 12 block maxima: past every minimum, still fast.
+const FITTED: &str = "\
+[campaign]
+name = pwcet_fit
+runs = 120
+seed = 11
+[tua]
+profile = rspeed
+accesses = 200
+[contenders]
+scenario = con
+[sweep]
+setup = rr,cba
+[report]
+pwcet = 1e-9,1e-12
+";
+
+fn run_grid(text: &str, threads: usize) -> ScenarioReport {
+    let mut def = ScenarioDef::parse(text).expect("grid parses");
+    def.threads = Some(threads);
+    run_scenario_controlled(&def, &RunControls::default(), |_, _, _| {}).expect("grid runs")
+}
+
+#[test]
+fn fitted_cells_expose_pwcet_columns_in_every_export() {
+    let report = run_grid(FITTED, 2);
+    assert_eq!(report.cells.len(), 2);
+    for cell in &report.cells {
+        let pwcet = cell.pwcet.as_ref().expect("pwcet configured");
+        assert_eq!(pwcet.probs, vec![1e-9, 1e-12]);
+        let fit = pwcet.fit.as_ref().unwrap_or_else(|| {
+            panic!(
+                "cell {:?}: fit failed: {}",
+                cell.labels,
+                pwcet.diag.as_deref().unwrap_or("?")
+            )
+        });
+        assert!(pwcet.diag.is_none());
+        assert_eq!(fit.bounds.len(), 2);
+        assert!(fit.bounds.iter().all(|b| b.is_finite()));
+        assert!(
+            fit.bounds[1] > fit.bounds[0],
+            "the 1e-12 bound must dominate the 1e-9 bound: {:?}",
+            fit.bounds
+        );
+        assert!(
+            fit.bounds[0] > cell.max,
+            "a 1e-9 per-run bound must dominate 120 observations \
+             ({} vs max {})",
+            fit.bounds[0],
+            cell.max
+        );
+        assert!(fit.beta > 0.0);
+        assert_eq!(fit.blocks, 12);
+        for p in [fit.ks_p, fit.lb_p, fit.runs_p] {
+            assert!((0.0..=1.0).contains(&p), "p-value {p} out of range");
+        }
+    }
+
+    let json = report.to_json();
+    for key in [
+        "\"pwcet@1e-9\"",
+        "\"pwcet@1e-12\"",
+        "\"gumbel_mu\"",
+        "\"gumbel_beta\"",
+        "\"iid_ok\"",
+    ] {
+        assert!(json.contains(key), "JSON lacks {key}: {json}");
+    }
+    assert!(!json.contains("pwcet_diag"), "no diag on healthy cells");
+
+    let csv = report.to_csv();
+    let header = csv.lines().next().unwrap();
+    assert!(
+        header.ends_with(
+            "pwcet@1e-9,pwcet@1e-12,gumbel_mu,gumbel_beta,gumbel_blocks,\
+             iid_ks_p,iid_lb_p,iid_runs_p,iid_ok,pwcet_diag"
+        ),
+        "{header}"
+    );
+    for line in csv.lines().skip(1) {
+        assert_eq!(
+            line.split(',').count(),
+            header.split(',').count(),
+            "ragged row: {line}"
+        );
+    }
+
+    let table = report.render_table();
+    assert!(table.contains("pWCET@1e-12 "), "{table}");
+}
+
+#[test]
+fn degenerate_and_tiny_cells_degrade_to_diagnostic_columns() {
+    // Case 1: a fixed-request TuA in isolation is fully deterministic —
+    // 120 identical samples, which no Gumbel fits.
+    let constant = "\
+[campaign]
+name = pwcet_constant
+runs = 120
+seed = 3
+[tua]
+load = fixed:40:6:4
+[contenders]
+scenario = iso
+[report]
+pwcet = 1e-9
+";
+    // Case 2: two runs are below every minimum of the iid battery and
+    // the block-maxima fit.
+    let tiny = "\
+[campaign]
+name = pwcet_tiny
+runs = 2
+seed = 3
+[tua]
+profile = rspeed
+accesses = 200
+[contenders]
+scenario = con
+[report]
+pwcet = 1e-9
+";
+    let mut snapshot = String::new();
+    for (case, text) in [("constant_latency", constant), ("tiny_run_count", tiny)] {
+        let report = run_grid(text, 2);
+        for cell in &report.cells {
+            let pwcet = cell.pwcet.as_ref().expect("pwcet configured");
+            assert!(pwcet.fit.is_none(), "{case}: no fit from degenerate data");
+            let diag = pwcet.diag.as_deref().expect("diagnostic column");
+            snapshot.push_str(&format!("{case}\n  {diag}\n"));
+
+            // The diagnostic reaches every export; no NaN leaks out.
+            let json = report.to_json();
+            assert!(json.contains("pwcet_diag"), "{case}: {json}");
+            assert!(!json.contains("pwcet@"), "{case}: no bound columns");
+            let csv = report.to_csv();
+            assert!(csv.lines().next().unwrap().ends_with("pwcet_diag"));
+            let table = report.render_table();
+            assert!(table.contains("[pwcet: "), "{case}: {table}");
+        }
+    }
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/pwcet_diag.golden.txt");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&golden_path, &snapshot).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "{golden_path:?}: {e}\nrun UPDATE_GOLDENS=1 cargo test --test pwcet_campaign to create it"
+        )
+    });
+    assert_eq!(
+        snapshot, golden,
+        "pwcet diagnostics drifted; if intentional, regenerate with \
+         UPDATE_GOLDENS=1 cargo test --test pwcet_campaign"
+    );
+}
+
+#[test]
+fn pwcet_columns_are_bit_identical_across_thread_counts() {
+    let reference = run_grid(FITTED, 1);
+    let fingerprint = |r: &ScenarioReport| (r.to_json(), r.to_csv());
+    for threads in [2usize, 8] {
+        let other = run_grid(FITTED, threads);
+        for (a, b) in reference.cells.iter().zip(&other.cells) {
+            assert_eq!(a.pwcet, b.pwcet, "threads={threads}: {:?}", a.labels);
+        }
+        assert_eq!(
+            fingerprint(&reference),
+            fingerprint(&other),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn pwcet_columns_survive_crash_and_resume_bit_identically() {
+    let dir: PathBuf = Path::new(env!("CARGO_TARGET_TMPDIR")).join("pwcet_campaign_resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+
+    let mut def = ScenarioDef::parse(FITTED).expect("grid parses");
+    def.threads = Some(1);
+    let reference =
+        run_scenario_controlled(&def, &RunControls::default(), |_, _, _| {}).expect("single-shot");
+
+    def.threads = Some(2);
+    let plan = FaultPlan::new().kill_after(1);
+    let controls = RunControls {
+        checkpoint: Some(&dir),
+        resume: false,
+        faults: Some(&plan),
+    };
+    let err = run_scenario_controlled(&def, &controls, |_, _, _| {})
+        .expect_err("kill-point must interrupt");
+    assert!(err.to_string().contains("interrupted"), "{err}");
+
+    def.threads = Some(8);
+    let controls = RunControls {
+        checkpoint: Some(&dir),
+        resume: true,
+        faults: None,
+    };
+    let resumed = run_scenario_controlled(&def, &controls, |_, _, _| {}).expect("resume");
+    assert_eq!(resumed.to_json(), reference.to_json());
+    assert_eq!(resumed.to_csv(), reference.to_csv());
+    for (a, b) in reference.cells.iter().zip(&resumed.cells) {
+        assert_eq!(a.pwcet, b.pwcet, "{:?}", a.labels);
+    }
+}
