@@ -44,6 +44,22 @@ pub enum RequestKind {
     /// Synthetic workload transaction (used by the illustrative example and
     /// fairness sweeps).
     Synthetic,
+    /// Coherent read (MESI BusRd): fetch a shared-segment line for
+    /// reading, leaving remote copies in S.
+    CohRead,
+    /// Coherent read-exclusive (MESI BusRdX): fetch a line with intent to
+    /// write, invalidating every remote copy.
+    CohReadEx,
+    /// Ownership upgrade (MESI BusUpgr): an S-state holder claims
+    /// exclusivity without a data fetch; remote copies invalidate.
+    CohUpgrade,
+    /// Coherence writeback: a remote M-state copy flushes to memory before
+    /// the requester's fetch proceeds (snoop-forced, unlike the
+    /// capacity-eviction half of [`RequestKind::L2MissDirty`]).
+    CohWriteback,
+    /// Invalidation acknowledgement: the snoop round-trip confirming
+    /// sibling copies dropped their line.
+    CohInvAck,
 }
 
 impl fmt::Display for RequestKind {
@@ -56,6 +72,11 @@ impl fmt::Display for RequestKind {
             RequestKind::Atomic => "atomic",
             RequestKind::Contender => "contender",
             RequestKind::Synthetic => "synthetic",
+            RequestKind::CohRead => "coh-read",
+            RequestKind::CohReadEx => "coh-readex",
+            RequestKind::CohUpgrade => "coh-upgrade",
+            RequestKind::CohWriteback => "coh-writeback",
+            RequestKind::CohInvAck => "coh-invack",
         };
         f.write_str(s)
     }
@@ -245,6 +266,11 @@ mod tests {
             RequestKind::Atomic,
             RequestKind::Contender,
             RequestKind::Synthetic,
+            RequestKind::CohRead,
+            RequestKind::CohReadEx,
+            RequestKind::CohUpgrade,
+            RequestKind::CohWriteback,
+            RequestKind::CohInvAck,
         ];
         let names: HashSet<String> = kinds.iter().map(|k| k.to_string()).collect();
         assert_eq!(names.len(), kinds.len());

@@ -384,6 +384,11 @@ impl<P: RequestPort + ?Sized> SimAgent<P, CompletedTransaction> for Core {
             bus_stall_cycles: s.bus_stall_cycles,
             store_stall_cycles: s.store_stall_cycles,
             done_at: self.done_at,
+            // The core's private hierarchy counters stay on `CoreStats` /
+            // `HierarchyStats`; the uniform mem columns are reserved for
+            // the dedicated memory agents so baseline reports keep their
+            // exact column set.
+            mem: None,
         }
     }
 }

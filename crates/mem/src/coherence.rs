@@ -1,0 +1,604 @@
+//! MESI coherence over a shared memory segment: the directory hub that
+//! turns shared-line accesses into snoop-accurate bus traffic.
+//!
+//! The private hierarchy ([`CoreMemory`](crate::CoreMemory)) never needs
+//! coherence — the L2 is partitioned, so cores interfere only on the bus.
+//! This module adds the missing piece for *shared* data: a per-line MESI
+//! state machine over the per-core private caches of a shared segment.
+//! The [`CoherenceHub`] is a snooping directory: it tracks every core's
+//! state for every shared line, and when a core reads or writes a line it
+//! returns the exact sequence of [`BusTransaction`]s the access costs —
+//! demand fetches ([`RequestKind::CohRead`] / [`RequestKind::CohReadEx`]),
+//! ownership upgrades ([`RequestKind::CohUpgrade`]), snoop-forced flushes
+//! of remote modified copies ([`RequestKind::CohWriteback`]) and
+//! invalidation acknowledgements ([`RequestKind::CohInvAck`]).
+//!
+//! The requester posts *all* resulting transactions, in order (a remote
+//! flush first, then its own fetch, then the invalidation round-trip).
+//! This keeps the workspace's one-pending-request-per-core bus invariant
+//! intact while still charging the snoop path's full cost to the access
+//! that caused it, and it keeps runs deterministic: the transaction
+//! sequence is a pure function of the directory state.
+//!
+//! # State machine
+//!
+//! ```text
+//!            ┌────────────────── read (no remote copy) ── CohRead ──┐
+//!            │                                                      ▼
+//!   ┌───┐ write hit (silent)  ┌───┐   remote read (flush)   ┌───┐
+//!   │ M │ ◄─────────────────  │ E │ ─────────────────────►  │ S │
+//!   └───┘                     └───┘                          └───┘
+//!     ▲  ▲                                                    │  ▲
+//!     │  └── write: CohUpgrade (+CohInvAck if sharers) ───────┘  │
+//!     │                                                          │
+//!     │   write: [CohWriteback,] CohReadEx [+CohInvAck]   ┌───┐  │
+//!     └─────────────────────────────────────────────────  │ I │ ─┘
+//!                                                         └───┘
+//!                                        read (remote M flushes): CohWriteback + CohRead
+//! ```
+//!
+//! Each line also carries a **version counter**: writes increment it,
+//! reads record the version the reader observed. The counters never feed
+//! back into the transaction planning (so they cost nothing and cannot
+//! perturb determinism); they exist so the property suites can assert the
+//! memory-consistency half of the MESI contract — a reader entering S
+//! always observes the version of the *last* writeback.
+
+use crate::hierarchy::BusTransaction;
+use crate::latency::LatencyModel;
+use crate::MemError;
+use cba_bus::RequestKind;
+use sim_core::CoreId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Line size of the shared segment (matches the private caches).
+pub const SHARED_LINE_BYTES: u64 = 16;
+
+/// Configuration of the memory-agent subsystem: the synthetic address
+/// stream, the private L1 geometry and the shared coherent segment.
+///
+/// Scenario files configure this through the `[memory]` section; sweeps
+/// vary it through the `mem_working_set` / `share_frac` / `write_frac` /
+/// `l1_sets` axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryConfig {
+    /// Private working-set size per core, in bytes (walked with
+    /// 16-byte-line granularity).
+    pub working_set: u64,
+    /// Memory accesses each agent performs before finishing.
+    pub accesses: u64,
+    /// Fraction of accesses that are stores, in `[0, 1]`.
+    pub write_frac: f64,
+    /// Fraction of a `shared` agent's accesses that target the shared
+    /// coherent segment, in `[0, 1]` (ignored by private `mem` agents).
+    pub share_frac: f64,
+    /// Number of 16-byte lines in the shared coherent segment.
+    pub shared_lines: usize,
+    /// Probability that a private access continues the sequential walk
+    /// (the rest jump uniformly inside the working set), in `[0, 1]`.
+    pub locality: f64,
+    /// Compute cycles between consecutive accesses.
+    pub think: u32,
+    /// Private L1 sets (power of two; overrides the paper geometry).
+    pub l1_sets: usize,
+    /// Private L1 ways.
+    pub l1_ways: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            working_set: 4096,
+            accesses: 2000,
+            write_frac: 0.25,
+            share_frac: 0.2,
+            shared_lines: 64,
+            locality: 0.85,
+            think: 4,
+            l1_sets: 64,
+            l1_ways: 4,
+        }
+    }
+}
+
+impl MemoryConfig {
+    /// Validates every field's domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), MemError> {
+        if self.working_set < SHARED_LINE_BYTES {
+            return Err(MemError::InvalidConfig(format!(
+                "working_set must be at least one {SHARED_LINE_BYTES}-byte line, got {}",
+                self.working_set
+            )));
+        }
+        if self.accesses == 0 {
+            return Err(MemError::InvalidConfig("accesses must be positive".into()));
+        }
+        for (name, v) in [
+            ("write_frac", self.write_frac),
+            ("share_frac", self.share_frac),
+            ("locality", self.locality),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(MemError::InvalidConfig(format!(
+                    "{name} must be within [0, 1], got {v}"
+                )));
+            }
+        }
+        if self.shared_lines == 0 {
+            return Err(MemError::InvalidConfig(
+                "shared_lines must be positive".into(),
+            ));
+        }
+        self.hierarchy().validate()
+    }
+
+    /// The private cache geometry the agent runs: the paper hierarchy
+    /// with the L1s resized to `l1_sets` × `l1_ways`.
+    pub fn hierarchy(&self) -> crate::HierarchyConfig {
+        let mut h = crate::HierarchyConfig::paper();
+        h.l1i.sets = self.l1_sets;
+        h.l1i.ways = self.l1_ways;
+        h.l1d.sets = self.l1_sets;
+        h.l1d.ways = self.l1_ways;
+        h
+    }
+
+    /// Number of 16-byte lines in the private working set (at least 1 by
+    /// validation).
+    pub fn working_set_lines(&self) -> u64 {
+        self.working_set / SHARED_LINE_BYTES
+    }
+}
+
+/// One core's MESI state for one shared line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MesiState {
+    /// Modified: sole copy, dirty.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: one of possibly many clean copies.
+    Shared,
+    /// Invalid: no copy.
+    #[default]
+    Invalid,
+}
+
+impl MesiState {
+    /// Whether this state holds a valid copy of the line.
+    pub fn has_copy(self) -> bool {
+        self != MesiState::Invalid
+    }
+}
+
+/// Per-line directory entry: every core's state plus the observational
+/// version counters (see the module docs).
+#[derive(Debug, Clone)]
+struct Line {
+    states: Vec<MesiState>,
+    /// Incremented on every write; what a "writeback" makes visible.
+    version: u64,
+    /// The version each core last observed (read or wrote).
+    observed: Vec<u64>,
+}
+
+/// The snooping MESI directory for one run's shared segment.
+///
+/// Shared by every coherent agent of the run through a [`SharedHub`]; the
+/// platform creates one hub per run, so directory state never leaks
+/// across runs.
+#[derive(Debug, Clone)]
+pub struct CoherenceHub {
+    n_cores: usize,
+    lines: Vec<Line>,
+}
+
+impl CoherenceHub {
+    /// A cold directory: `n_lines` shared lines, every copy Invalid.
+    pub fn new(n_cores: usize, n_lines: usize) -> Self {
+        CoherenceHub {
+            n_cores,
+            lines: vec![
+                Line {
+                    states: vec![MesiState::Invalid; n_cores],
+                    version: 0,
+                    observed: vec![0; n_cores],
+                };
+                n_lines
+            ],
+        }
+    }
+
+    /// Number of shared lines tracked.
+    pub fn n_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of cores tracked.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// `core`'s MESI state for `line`.
+    pub fn state(&self, core: CoreId, line: usize) -> MesiState {
+        self.lines[line].states[core.index()]
+    }
+
+    /// The line's write-version counter (observational only).
+    pub fn version(&self, line: usize) -> u64 {
+        self.lines[line].version
+    }
+
+    /// The version `core` last observed on `line` (observational only).
+    pub fn observed_version(&self, core: CoreId, line: usize) -> u64 {
+        self.lines[line].observed[core.index()]
+    }
+
+    /// Cores currently holding `line` in Modified state (the MESI
+    /// invariant suite asserts this never exceeds 1).
+    pub fn modified_copies(&self, line: usize) -> usize {
+        self.lines[line]
+            .states
+            .iter()
+            .filter(|s| **s == MesiState::Modified)
+            .count()
+    }
+
+    /// A read of `line` by `core`: applies the MESI transition and
+    /// returns the bus transactions the requester must post, in order.
+    ///
+    /// Hits (M/E/S) cost nothing; an Invalid copy fetches with
+    /// [`RequestKind::CohRead`], preceded by a
+    /// [`RequestKind::CohWriteback`] when a sibling holds the line
+    /// Modified.
+    pub fn read(&mut self, core: CoreId, line: usize, lat: &LatencyModel) -> Vec<BusTransaction> {
+        let me = core.index();
+        let entry = &mut self.lines[line];
+        let mut txns = Vec::new();
+        if entry.states[me].has_copy() {
+            entry.observed[me] = entry.version;
+            return txns;
+        }
+        let remote_m = entry
+            .states
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != me && *s == MesiState::Modified);
+        let remote_copy = entry
+            .states
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != me && s.has_copy());
+        if remote_m {
+            // The dirty sibling flushes before the fetch; both end Shared.
+            txns.push(BusTransaction {
+                duration: lat.mem_access,
+                kind: RequestKind::CohWriteback,
+            });
+        }
+        txns.push(BusTransaction {
+            duration: lat.mem_access,
+            kind: RequestKind::CohRead,
+        });
+        for s in entry.states.iter_mut() {
+            if s.has_copy() {
+                *s = MesiState::Shared;
+            }
+        }
+        entry.states[me] = if remote_copy {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        };
+        entry.observed[me] = entry.version;
+        txns
+    }
+
+    /// A write of `line` by `core`: applies the MESI transition and
+    /// returns the bus transactions the requester must post, in order.
+    ///
+    /// M hits are silent, E upgrades to M silently; an S copy claims
+    /// ownership with [`RequestKind::CohUpgrade`], an Invalid copy
+    /// fetches with [`RequestKind::CohReadEx`] (preceded by a
+    /// [`RequestKind::CohWriteback`] of a remote Modified copy). Either
+    /// path appends a [`RequestKind::CohInvAck`] when at least one
+    /// sibling copy had to invalidate.
+    pub fn write(&mut self, core: CoreId, line: usize, lat: &LatencyModel) -> Vec<BusTransaction> {
+        let me = core.index();
+        let entry = &mut self.lines[line];
+        let mut txns = Vec::new();
+        match entry.states[me] {
+            MesiState::Modified => {}
+            MesiState::Exclusive => {
+                entry.states[me] = MesiState::Modified;
+            }
+            MesiState::Shared => {
+                txns.push(BusTransaction {
+                    duration: lat.l2_write_hit,
+                    kind: RequestKind::CohUpgrade,
+                });
+                let mut invalidated = false;
+                for (i, s) in entry.states.iter_mut().enumerate() {
+                    if i != me && s.has_copy() {
+                        *s = MesiState::Invalid;
+                        invalidated = true;
+                    }
+                }
+                if invalidated {
+                    txns.push(BusTransaction {
+                        duration: lat.l2_read_hit,
+                        kind: RequestKind::CohInvAck,
+                    });
+                }
+                entry.states[me] = MesiState::Modified;
+            }
+            MesiState::Invalid => {
+                let remote_m = entry
+                    .states
+                    .iter()
+                    .enumerate()
+                    .any(|(i, s)| i != me && *s == MesiState::Modified);
+                if remote_m {
+                    txns.push(BusTransaction {
+                        duration: lat.mem_access,
+                        kind: RequestKind::CohWriteback,
+                    });
+                }
+                txns.push(BusTransaction {
+                    duration: lat.mem_access,
+                    kind: RequestKind::CohReadEx,
+                });
+                let mut invalidated = false;
+                for (i, s) in entry.states.iter_mut().enumerate() {
+                    if i != me && s.has_copy() {
+                        *s = MesiState::Invalid;
+                        invalidated = true;
+                    }
+                }
+                if invalidated {
+                    txns.push(BusTransaction {
+                        duration: lat.l2_read_hit,
+                        kind: RequestKind::CohInvAck,
+                    });
+                }
+                entry.states[me] = MesiState::Modified;
+            }
+        }
+        entry.version += 1;
+        entry.observed[me] = entry.version;
+        txns
+    }
+
+    /// Drops every copy `core` holds (its private cache of the shared
+    /// segment goes cold), for agent reset. Versions are observational
+    /// and keep counting; once every agent of a run has reset, the
+    /// directory's *behavior-relevant* state equals a fresh hub's.
+    pub fn reset_core(&mut self, core: CoreId) {
+        let me = core.index();
+        for line in &mut self.lines {
+            line.states[me] = MesiState::Invalid;
+        }
+    }
+
+    /// Checks the two-core MESI safety invariants over every line:
+    /// at most one Modified copy, and a Modified copy never coexists
+    /// with any other valid copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated line.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, line) in self.lines.iter().enumerate() {
+            let m = line
+                .states
+                .iter()
+                .filter(|s| **s == MesiState::Modified)
+                .count();
+            let valid = line.states.iter().filter(|s| s.has_copy()).count();
+            if m > 1 {
+                return Err(format!("line {i}: {m} Modified copies"));
+            }
+            if m == 1 && valid > 1 {
+                return Err(format!(
+                    "line {i}: a Modified copy coexists with {} other valid copies",
+                    valid - 1
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-run handle coherent agents share: single-threaded interior
+/// mutability (runs are single-threaded; campaigns parallelize across
+/// whole runs, each with its own hub).
+pub type SharedHub = Rc<RefCell<CoherenceHub>>;
+
+/// Creates a fresh [`SharedHub`] for one run.
+pub fn shared_hub(n_cores: usize, n_lines: usize) -> SharedHub {
+    Rc::new(RefCell::new(CoherenceHub::new(n_cores, n_lines)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::rng::SimRng;
+
+    fn c(i: usize) -> CoreId {
+        CoreId::from_index(i)
+    }
+
+    fn kinds(txns: &[BusTransaction]) -> Vec<RequestKind> {
+        txns.iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_domains() {
+        assert!(MemoryConfig::default().validate().is_ok());
+        let cases = [
+            MemoryConfig {
+                working_set: 0,
+                ..Default::default()
+            },
+            MemoryConfig {
+                share_frac: 1.5,
+                ..Default::default()
+            },
+            MemoryConfig {
+                accesses: 0,
+                ..Default::default()
+            },
+            MemoryConfig {
+                shared_lines: 0,
+                ..Default::default()
+            },
+            MemoryConfig {
+                l1_sets: 3, // not a power of two
+                ..Default::default()
+            },
+        ];
+        for m in cases {
+            assert!(m.validate().is_err(), "{m:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn cold_read_is_exclusive_then_hits() {
+        let lat = LatencyModel::paper();
+        let mut hub = CoherenceHub::new(2, 4);
+        let txns = hub.read(c(0), 0, &lat);
+        assert_eq!(kinds(&txns), [RequestKind::CohRead]);
+        assert_eq!(hub.state(c(0), 0), MesiState::Exclusive);
+        assert!(hub.read(c(0), 0, &lat).is_empty(), "E read is a hit");
+    }
+
+    #[test]
+    fn second_reader_downgrades_to_shared() {
+        let lat = LatencyModel::paper();
+        let mut hub = CoherenceHub::new(2, 4);
+        hub.read(c(0), 0, &lat);
+        let txns = hub.read(c(1), 0, &lat);
+        assert_eq!(kinds(&txns), [RequestKind::CohRead]);
+        assert_eq!(hub.state(c(0), 0), MesiState::Shared);
+        assert_eq!(hub.state(c(1), 0), MesiState::Shared);
+    }
+
+    #[test]
+    fn write_to_exclusive_is_silent() {
+        let lat = LatencyModel::paper();
+        let mut hub = CoherenceHub::new(2, 4);
+        hub.read(c(0), 0, &lat);
+        let txns = hub.write(c(0), 0, &lat);
+        assert!(txns.is_empty(), "E -> M is a silent upgrade");
+        assert_eq!(hub.state(c(0), 0), MesiState::Modified);
+    }
+
+    #[test]
+    fn shared_writer_upgrades_and_invalidates() {
+        let lat = LatencyModel::paper();
+        let mut hub = CoherenceHub::new(2, 4);
+        hub.read(c(0), 0, &lat);
+        hub.read(c(1), 0, &lat);
+        let txns = hub.write(c(0), 0, &lat);
+        assert_eq!(
+            kinds(&txns),
+            [RequestKind::CohUpgrade, RequestKind::CohInvAck]
+        );
+        assert_eq!(hub.state(c(0), 0), MesiState::Modified);
+        assert_eq!(hub.state(c(1), 0), MesiState::Invalid);
+    }
+
+    #[test]
+    fn cold_write_fetches_exclusively() {
+        let lat = LatencyModel::paper();
+        let mut hub = CoherenceHub::new(2, 4);
+        let txns = hub.write(c(0), 0, &lat);
+        assert_eq!(kinds(&txns), [RequestKind::CohReadEx]);
+        assert_eq!(hub.state(c(0), 0), MesiState::Modified);
+    }
+
+    #[test]
+    fn remote_modified_flushes_before_read_and_write() {
+        let lat = LatencyModel::paper();
+        let mut hub = CoherenceHub::new(2, 4);
+        hub.write(c(0), 0, &lat);
+        let txns = hub.read(c(1), 0, &lat);
+        assert_eq!(
+            kinds(&txns),
+            [RequestKind::CohWriteback, RequestKind::CohRead]
+        );
+        assert_eq!(hub.state(c(0), 0), MesiState::Shared);
+        assert_eq!(hub.state(c(1), 0), MesiState::Shared);
+
+        let mut hub = CoherenceHub::new(2, 4);
+        hub.write(c(0), 0, &lat);
+        let txns = hub.write(c(1), 0, &lat);
+        assert_eq!(
+            kinds(&txns),
+            [
+                RequestKind::CohWriteback,
+                RequestKind::CohReadEx,
+                RequestKind::CohInvAck
+            ]
+        );
+        assert_eq!(hub.state(c(0), 0), MesiState::Invalid);
+        assert_eq!(hub.state(c(1), 0), MesiState::Modified);
+    }
+
+    #[test]
+    fn durations_respect_the_latency_model() {
+        let lat = LatencyModel::paper();
+        let mut hub = CoherenceHub::new(2, 1);
+        hub.write(c(0), 0, &lat);
+        for t in hub.write(c(1), 0, &lat) {
+            assert!(t.duration >= 1 && t.duration <= lat.max_latency());
+        }
+    }
+
+    /// Property: under a random two-core access mix, no line ever holds
+    /// two Modified copies (or M next to any valid copy), and a reader
+    /// entering S observes the version of the last write.
+    #[test]
+    fn random_mix_preserves_mesi_invariants() {
+        let lat = LatencyModel::paper();
+        let mut rng = SimRng::seed_from(0xC0FFEE);
+        for n_cores in [2, 4] {
+            let mut hub = CoherenceHub::new(n_cores, 8);
+            for _ in 0..5_000 {
+                let core = c(rng.gen_range_usize(0..n_cores));
+                let line = rng.gen_range_usize(0..8);
+                if rng.gen_bool(0.4) {
+                    hub.write(core, line, &lat);
+                } else {
+                    hub.read(core, line, &lat);
+                    assert_eq!(
+                        hub.observed_version(core, line),
+                        hub.version(line),
+                        "an S/E reader must see the last writeback"
+                    );
+                }
+                hub.check_invariants().expect("MESI safety");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_core_drops_only_that_cores_copies() {
+        let lat = LatencyModel::paper();
+        let mut hub = CoherenceHub::new(2, 2);
+        hub.read(c(0), 0, &lat);
+        hub.read(c(1), 0, &lat);
+        hub.write(c(1), 1, &lat);
+        hub.reset_core(c(1));
+        assert_eq!(hub.state(c(1), 0), MesiState::Invalid);
+        assert_eq!(hub.state(c(1), 1), MesiState::Invalid);
+        assert_eq!(hub.state(c(0), 0), MesiState::Shared);
+        hub.check_invariants().expect("reset keeps safety");
+    }
+}

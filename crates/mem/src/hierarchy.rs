@@ -254,6 +254,15 @@ impl CoreMemory {
         self.l2.reseed(rng);
         self.stats = HierarchyStats::default();
     }
+
+    /// Restores the hierarchy to fresh-construction state: given the same
+    /// `rng` stream a fresh [`CoreMemory::new`] would have consumed, the
+    /// reset hierarchy behaves bit-identically to a newly built one (the
+    /// seed-equivalence contract the `reset_reuse` conformance suite
+    /// pins for every agent).
+    pub fn reset(&mut self, rng: &mut SimRng) {
+        self.reseed(rng);
+    }
 }
 
 #[cfg(test)]

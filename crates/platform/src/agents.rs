@@ -22,7 +22,8 @@
 use crate::config::PlatformConfig;
 use crate::platform::CoreLoad;
 use cba_bus::{CompletedTransaction, RequestPort};
-use cba_cpu::{Contender, Core, FixedRequestTask, PeriodicContender};
+use cba_cpu::{Contender, Core, FixedRequestTask, MemAgent, PeriodicContender};
+use cba_mem::{shared_hub, SharedHub};
 use cba_workloads::{Streaming, SyntheticEembc};
 use sim_core::agent::{AgentStats, SimAgent};
 use sim_core::rng::SimRng;
@@ -50,6 +51,12 @@ pub struct AgentCtx<'a> {
     /// This agent's private random stream, already forked per core from
     /// the run seed. Fork sub-streams from it; never reseed it.
     pub rng: &'a mut SimRng,
+    /// The run's MESI coherence hub, present when the run spec placed at
+    /// least one `shared` load (the engines create one hub per run).
+    /// When a `shared` agent is built with `None` here — e.g. in a
+    /// single-agent conformance harness — the builder makes a private
+    /// per-call hub.
+    pub hub: Option<SharedHub>,
 }
 
 type Builder = Box<dyn Fn(&mut AgentCtx<'_>) -> Result<BoxedPortAgent, String> + Send + Sync>;
@@ -88,11 +95,16 @@ impl AgentRegistry {
     }
 
     /// The built-in kinds: `bench`, `profile`, `stream` (the full core
-    /// model), `sat`, `per`, `fixed` (the synthetic clients) and `idle`.
+    /// model), `sat`, `per`, `fixed` (the synthetic clients), `idle`, and
+    /// the miss-stream memory agents `mem` (private hierarchy only) and
+    /// `shared` (coherent through the run's MESI hub).
     pub fn builtin() -> Self {
         let mut reg = Self::empty();
         for kind in ["bench", "profile", "stream"] {
             reg.register(kind, build_core_agent);
+        }
+        for kind in ["mem", "shared"] {
+            reg.register(kind, build_mem_agent);
         }
         reg.register("sat", |ctx: &mut AgentCtx<'_>| {
             let CoreLoad::Saturating { duration } = ctx.load else {
@@ -171,6 +183,23 @@ impl AgentRegistry {
         platform: &PlatformConfig,
         rng: &mut SimRng,
     ) -> Result<BoxedPortAgent, String> {
+        self.build_shared(load, core, platform, None, rng)
+    }
+
+    /// Builds the agent for `load` on `core`, handing shared-state
+    /// builders (the `shared` memory kind) the run's coherence hub.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AgentRegistry::build`].
+    pub fn build_shared(
+        &self,
+        load: &CoreLoad,
+        core: CoreId,
+        platform: &PlatformConfig,
+        hub: Option<SharedHub>,
+        rng: &mut SimRng,
+    ) -> Result<BoxedPortAgent, String> {
         let kind = load.kind();
         let builder = self.builders.get(kind).ok_or_else(|| {
             format!(
@@ -189,9 +218,44 @@ impl AgentRegistry {
             args,
             platform,
             rng,
+            hub,
         };
         builder(&mut ctx)
     }
+}
+
+/// Builds a miss-stream [`MemAgent`] for the `mem` (private) and
+/// `shared` (coherent) kinds. The stream parameters come from the
+/// platform's `[memory]` configuration, not from load-spec arguments.
+fn build_mem_agent(ctx: &mut AgentCtx<'_>) -> Result<BoxedPortAgent, String> {
+    let kind = ctx.load.kind();
+    if !ctx.args.is_empty() {
+        return Err(format!(
+            "kind '{kind}' takes no arguments; its parameters live in the [memory] section"
+        ));
+    }
+    let config = ctx.platform.memory.clone().ok_or_else(|| {
+        format!("load 'agent:{kind}' requires the platform's [memory] configuration")
+    })?;
+    config.validate().map_err(|e| e.to_string())?;
+    let hub = if kind == "shared" {
+        Some(match &ctx.hub {
+            Some(hub) => hub.clone(),
+            // Single-agent harnesses (conformance, unit tests) build
+            // without a run-wide hub; a private one is behaviorally
+            // identical when no sibling shares the segment.
+            None => shared_hub(ctx.platform.n_cores, config.shared_lines),
+        })
+    } else {
+        None
+    };
+    Ok(Box::new(MemAgent::new(
+        ctx.core,
+        config,
+        ctx.platform.latency,
+        hub,
+        ctx.rng,
+    )))
 }
 
 /// Builds the full core model for the `bench` / `profile` / `stream`
@@ -294,10 +358,13 @@ mod tests {
     #[test]
     fn builtin_registry_covers_every_shipped_kind() {
         let reg = AgentRegistry::builtin();
-        for kind in ["bench", "profile", "stream", "sat", "per", "fixed", "idle"] {
+        for kind in [
+            "bench", "profile", "stream", "sat", "per", "fixed", "idle", "mem", "shared",
+        ] {
             assert!(reg.contains(kind), "missing builtin kind '{kind}'");
         }
-        let platform = ctx_platform();
+        let mut platform = ctx_platform();
+        platform.memory = Some(cba_mem::MemoryConfig::default());
         let mut rng = SimRng::seed_from(7);
         let loads = [
             CoreLoad::named("rspeed"),
@@ -314,11 +381,60 @@ mod tests {
                 gap: 4,
             },
             CoreLoad::Idle,
+            CoreLoad::Custom {
+                kind: "mem".into(),
+                args: vec![],
+            },
+            CoreLoad::Custom {
+                kind: "shared".into(),
+                args: vec![],
+            },
         ];
         for load in &loads {
             reg.build(load, CoreId::from_index(0), &platform, &mut rng)
                 .unwrap_or_else(|e| panic!("{load}: {e}"));
         }
+    }
+
+    #[test]
+    fn mem_kinds_require_a_memory_configuration() {
+        let reg = AgentRegistry::builtin();
+        let platform = ctx_platform();
+        assert!(platform.memory.is_none());
+        for kind in ["mem", "shared"] {
+            let load = CoreLoad::Custom {
+                kind: kind.into(),
+                args: vec![],
+            };
+            let err = match reg.build(
+                &load,
+                CoreId::from_index(0),
+                &platform,
+                &mut SimRng::seed_from(1),
+            ) {
+                Err(e) => e,
+                Ok(_) => panic!("must demand [memory]"),
+            };
+            assert!(err.contains("[memory]"), "{err}");
+        }
+        // Arguments on the load spec are rejected: parameters live in
+        // [memory], not in the spec.
+        let mut with_mem = ctx_platform();
+        with_mem.memory = Some(cba_mem::MemoryConfig::default());
+        let load = CoreLoad::Custom {
+            kind: "mem".into(),
+            args: vec!["64".into()],
+        };
+        let err = match reg.build(
+            &load,
+            CoreId::from_index(0),
+            &with_mem,
+            &mut SimRng::seed_from(1),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("args must be rejected"),
+        };
+        assert!(err.contains("takes no arguments"), "{err}");
     }
 
     #[test]

@@ -43,8 +43,10 @@ pub const JOURNAL_FILE: &str = "campaign.journal";
 /// Journal format version this build reads and writes.
 ///
 /// Version 2 added the pWCET columns (`[report] pwcet`) to the cell
-/// codec; version-1 journals are discarded with a notice on resume.
-pub const JOURNAL_VERSION: u32 = 2;
+/// codec; version 3 added the memory-agent columns (miss rate,
+/// coherence fraction, writebacks). Older journals are discarded with a
+/// notice on resume.
+pub const JOURNAL_VERSION: u32 = 3;
 
 const MAGIC: &[u8; 8] = b"CBACKPT\n";
 /// magic + version + scenario hash + total cells + runs per cell.
@@ -384,6 +386,9 @@ pub fn encode_cell_report(r: &CellReport) -> Vec<u8> {
             }
         }
     }
+    w.opt_f64(r.mem_miss_rate);
+    w.opt_f64(r.mem_coherence_frac);
+    w.opt_f64(r.mem_writebacks);
     w.into_bytes()
 }
 
@@ -482,6 +487,9 @@ pub fn decode_cell_report(bytes: &[u8]) -> Result<CellReport, String> {
         }
         other => return Err(format!("bad option flag {other}")),
     };
+    let mem_miss_rate = r.opt_f64()?;
+    let mem_coherence_frac = r.opt_f64()?;
+    let mem_writebacks = r.opt_f64()?;
     if r.remaining() != 0 {
         return Err(format!("{} trailing bytes", r.remaining()));
     }
@@ -508,6 +516,9 @@ pub fn decode_cell_report(bytes: &[u8]) -> Result<CellReport, String> {
         window_jain,
         window_shares,
         pwcet,
+        mem_miss_rate,
+        mem_coherence_frac,
+        mem_writebacks,
     })
 }
 
@@ -648,6 +659,9 @@ mod tests {
                 }),
                 diag: None,
             }),
+            mem_miss_rate: Some(0.0625),
+            mem_coherence_frac: Some(0.375),
+            mem_writebacks: None,
         }
     }
 
@@ -669,6 +683,9 @@ mod tests {
         assert_eq!(decoded.panicked, report.panicked);
         assert_eq!(decoded.budget_trips, report.budget_trips);
         assert_eq!(decoded.pwcet, report.pwcet);
+        assert_eq!(decoded.mem_miss_rate, report.mem_miss_rate);
+        assert_eq!(decoded.mem_coherence_frac, report.mem_coherence_frac);
+        assert_eq!(decoded.mem_writebacks, report.mem_writebacks);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use cba::CreditConfig;
 use cba_bus::PolicyKind;
-use cba_mem::{HierarchyConfig, LatencyModel};
+use cba_mem::{HierarchyConfig, LatencyModel, MemoryConfig};
 
 /// Hierarchical-fabric topology: clusters of cores behind store-and-forward
 /// bridges onto a backbone bus, with an independent arbitration point
@@ -100,6 +100,9 @@ pub struct PlatformConfig {
     pub lfsr_randbank: bool,
     /// Hierarchical-fabric topology; `None` = the flat single shared bus.
     pub topology: Option<FabricTopology>,
+    /// Synthetic address-stream configuration for the `mem`/`shared`
+    /// memory agents; `None` means no run spec may place such an agent.
+    pub memory: Option<MemoryConfig>,
 }
 
 impl PlatformConfig {
@@ -129,6 +132,7 @@ impl PlatformConfig {
             store_buffer: cba_cpu::core::DEFAULT_STORE_BUFFER,
             lfsr_randbank: true,
             topology: None,
+            memory: None,
         }
     }
 

@@ -47,6 +47,8 @@ use cba_bus::{
     FilterHorizon, PendingSet, PolicyKind, RandomSource, RequestKind, RequestPort,
 };
 use cba_cpu::{Contender, FixedRequestTask, PeriodicContender};
+use cba_mem::{shared_hub, SharedHub};
+use sim_core::agent::MemStats;
 use sim_core::lfsr::LfsrBank;
 use sim_core::rng::SimRng;
 use sim_core::trace::GrantTrace;
@@ -154,12 +156,43 @@ impl Flow {
             a.absorb_skipped(skipped);
         }
     }
+
+    /// Memory-side counters, for registry-built memory agents (`None`
+    /// for every synthetic flow).
+    fn mem_stats(&self) -> Option<MemStats> {
+        match self {
+            Flow::Agent(a) => a.stats().mem,
+            _ => None,
+        }
+    }
+}
+
+/// Sums the memory counters over all flows, mirroring the events path's
+/// extraction (exact integer sums, `None` when no memory agent ran).
+fn sum_mem(flows: &[Flow]) -> Option<MemStats> {
+    let mut mem: Option<MemStats> = None;
+    for flow in flows {
+        if let Some(m) = flow.mem_stats() {
+            mem.get_or_insert_with(MemStats::default).accumulate(m);
+        }
+    }
+    mem
 }
 
 /// Builds the per-core flows, forking the agent RNG streams exactly like
 /// the events path (`rng.fork(0xC0 + i)`), so registry-built agents see
 /// bit-identical randomness under either engine.
 fn build_flows(spec: &RunSpec, rng: &SimRng, registry: &AgentRegistry) -> Vec<Flow> {
+    // One coherence hub per run when any load is the coherent `shared`
+    // kind, exactly as in the events path.
+    let hub: Option<SharedHub> = spec.loads.iter().any(|l| l.kind() == "shared").then(|| {
+        let mem = spec
+            .platform
+            .memory
+            .as_ref()
+            .expect("validated: shared loads require a memory configuration");
+        shared_hub(spec.platform.n_cores, mem.shared_lines)
+    });
     spec.loads
         .iter()
         .enumerate()
@@ -181,7 +214,7 @@ fn build_flows(spec: &RunSpec, rng: &SimRng, registry: &AgentRegistry) -> Vec<Fl
                 other => {
                     let mut agent_rng = rng.fork(0xC0 + i as u64);
                     let agent = registry
-                        .build(other, core, &spec.platform, &mut agent_rng)
+                        .build_shared(other, core, &spec.platform, hub.clone(), &mut agent_rng)
                         .unwrap_or_else(|why| {
                             panic!("cannot build agent '{other}' for core {i}: {why}")
                         });
@@ -802,6 +835,7 @@ fn run_flat(spec: &RunSpec, rng: &SimRng, registry: &AgentRegistry) -> RunResult
             None => vec![None; n],
         },
         windows: probe.map(|p| p.snapshot()),
+        mem: sum_mem(&flows),
     }
 }
 
@@ -914,6 +948,7 @@ fn run_fabric_fluid(
         max_grant_gap: ids.iter().map(|&c| trace.max_grant_gap(c)).collect(),
         max_burst: ids.iter().map(|&c| trace.max_burst_len(c)).collect(),
         windows: probe.map(|p| p.snapshot()),
+        mem: sum_mem(&flows),
     }
 }
 

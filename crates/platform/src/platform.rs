@@ -7,7 +7,9 @@ use crate::probes::{WindowedFairness, WindowedFairnessProbe};
 use cba::{CreditFilter, Mode};
 use cba_bus::fabric::{Fabric, FabricConfig};
 use cba_bus::{Bus, BusConfig, BusError, BusRequest, CompletedTransaction, RequestPort};
+use cba_mem::shared_hub;
 use cba_workloads::EembcProfile;
+use sim_core::agent::MemStats;
 use sim_core::lfsr::LfsrBank;
 use sim_core::rng::SimRng;
 use sim_core::{BusModel, CoreId, Cycle, Engine, Probe, Simulation, StopWhen};
@@ -370,6 +372,27 @@ impl RunSpec {
                 return Err("credit MaxL differs from the latency model's MaxL".into());
             }
         }
+        if let Some(mem) = &self.platform.memory {
+            mem.validate().map_err(|e| e.to_string())?;
+        }
+        for load in &self.loads {
+            let kind = load.kind();
+            if kind != "mem" && kind != "shared" {
+                continue;
+            }
+            if self.platform.memory.is_none() {
+                return Err(format!(
+                    "load 'agent:{kind}' requires a [memory] section on the platform"
+                ));
+            }
+            if kind == "shared" && self.platform.topology.is_some() {
+                return Err(
+                    "load 'agent:shared' requires the flat snooped bus; a fabric topology \
+                     has no shared coherent segment"
+                        .into(),
+                );
+            }
+        }
         if let Some(topo) = &self.platform.topology {
             let maxl = self.platform.latency.max_latency();
             if topo.clusters == 0 || topo.cores_per_cluster == 0 {
@@ -452,6 +475,10 @@ pub struct RunResult {
     /// [`WindowedFairnessProbe`]. Completion-attributed, so bit-identical
     /// between the naive and events engines.
     pub windows: Option<WindowedFairness>,
+    /// Memory-side counters summed over every memory agent in the run
+    /// (`None` when no load placed one, so baseline reports keep their
+    /// exact column set). Exact integer sums, so thread-count-independent.
+    pub mem: Option<MemStats>,
 }
 
 impl RunResult {
@@ -661,6 +688,15 @@ fn execute<M: SimModel + 'static>(
     registry: &AgentRegistry,
 ) -> RunResult {
     let platform = &spec.platform;
+    // One coherence hub per run, shared by every `shared` agent so their
+    // snoops see each other (validated: such loads imply `memory`).
+    let hub = spec.loads.iter().any(|l| l.kind() == "shared").then(|| {
+        let mem = platform
+            .memory
+            .as_ref()
+            .expect("validated: shared loads require a memory configuration");
+        shared_hub(platform.n_cores, mem.shared_lines)
+    });
     let agents: Vec<sim_core::BoxedAgent<M>> = spec
         .loads
         .iter()
@@ -668,7 +704,13 @@ fn execute<M: SimModel + 'static>(
         .map(|(i, load)| {
             let mut agent_rng = rng.fork(0xC0 + i as u64);
             let agent = registry
-                .build(load, CoreId::from_index(i), platform, &mut agent_rng)
+                .build_shared(
+                    load,
+                    CoreId::from_index(i),
+                    platform,
+                    hub.clone(),
+                    &mut agent_rng,
+                )
                 .unwrap_or_else(|why| panic!("cannot build agent '{load}' for core {i}: {why}"));
             Box::new(PortAgent::new(agent)) as sim_core::BoxedAgent<M>
         })
@@ -716,6 +758,12 @@ fn extract<M: SimModel, P: Probe<CompletedTransaction>>(
     let trace = bus.trace();
     let ids: Vec<CoreId> = (0..spec.platform.n_cores).map(CoreId::from_index).collect();
     let (tua_mean_wait, tua_max_wait) = bus.tua_wait();
+    let mut mem: Option<MemStats> = None;
+    for i in 0..spec.platform.n_cores {
+        if let Some(m) = sim.agent(i).stats().mem {
+            mem.get_or_insert_with(MemStats::default).accumulate(m);
+        }
+    }
     RunResult {
         tua_cycles: sim.agent(0).done_at(),
         finished: outcome.stopped,
@@ -728,6 +776,7 @@ fn extract<M: SimModel, P: Probe<CompletedTransaction>>(
         max_grant_gap: ids.iter().map(|&c| trace.max_grant_gap(c)).collect(),
         max_burst: ids.iter().map(|&c| trace.max_burst_len(c)).collect(),
         windows,
+        mem,
     }
 }
 

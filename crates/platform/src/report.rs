@@ -22,6 +22,7 @@ use crate::platform::{run_once, RunResult, RunSpec};
 use crate::probes::WindowedFairness;
 use crate::scenario::{ScenarioDef, ScenarioError};
 use cba_mbpta::pwcet::{MbptaConfig, PWcetModel};
+use sim_core::agent::MemStats;
 use sim_core::export::{csv_field, fmt_number, Json};
 use sim_core::stats::{percentile_sorted, Summary};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -117,6 +118,16 @@ pub struct CellReport {
     /// pWCET tail columns; cells of scenarios with `[report] pwcet =
     /// P1,P2,...` only.
     pub pwcet: Option<PwcetCell>,
+    /// Miss rate of the cell's memory agents (misses / accesses over the
+    /// campaign-wide exact integer sums); cells with `mem`/`shared`
+    /// loads only.
+    pub mem_miss_rate: Option<f64>,
+    /// Coherence share of the memory agents' bus traffic (coherence
+    /// transactions / all their bus transactions); memory cells only.
+    pub mem_coherence_frac: Option<f64>,
+    /// Mean writebacks per run (dirty evictions + coherence flushes);
+    /// memory cells only.
+    pub mem_writebacks: Option<f64>,
 }
 
 /// Per-cell pWCET columns (`[report] pwcet = P1,P2,...`): the requested
@@ -229,6 +240,8 @@ pub(crate) struct RunTally {
     /// Per-cluster backbone-share contribution of this run (fabric runs).
     cluster_busy: Option<Vec<f64>>,
     windows: Option<WindowedFairness>,
+    /// Summed memory-agent counters of this run (memory cells only).
+    mem: Option<MemStats>,
     /// The run stopped at a `run_budget_cycles` cap instead of finishing.
     budget_tripped: bool,
 }
@@ -269,6 +282,7 @@ impl RunTally {
             burst,
             gap,
             cluster_busy,
+            mem: r.mem,
             windows: r.windows,
             budget_tripped,
         }
@@ -344,6 +358,10 @@ impl CellAccumulator {
             .topology
             .as_ref()
             .map(|topo| vec![0.0f64; topo.clusters]);
+        // Memory counters accumulate as exact u64 sums (not per-run
+        // floats), so the derived ratios are thread-count-independent.
+        let mut mem_sum: Option<MemStats> = None;
+        let mut mem_runs = 0usize;
         let (mut window_jain_sum, mut window_share_sum, mut windows_counted) = match spec.windows {
             None => (None, None, 0usize),
             Some(w) => (
@@ -375,6 +393,10 @@ impl CellAccumulator {
                         for (a, x) in acc.iter_mut().zip(c) {
                             *a += x;
                         }
+                    }
+                    if let Some(m) = t.mem {
+                        mem_sum.get_or_insert_with(MemStats::default).accumulate(m);
+                        mem_runs += 1;
                     }
                     if let Some(wf) = &t.windows {
                         windows_counted += 1;
@@ -449,6 +471,23 @@ impl CellAccumulator {
                 .for_each(|row| row.iter_mut().for_each(|s| *s /= wdenom));
             shares
         });
+        let (mem_miss_rate, mem_coherence_frac, mem_writebacks) = match mem_sum {
+            None => (None, None, None),
+            Some(m) => {
+                let ratio = |num: u64, den: u64| {
+                    if den == 0 {
+                        0.0
+                    } else {
+                        num as f64 / den as f64
+                    }
+                };
+                (
+                    Some(ratio(m.misses, m.accesses)),
+                    Some(ratio(m.coherence, m.bus_txns)),
+                    Some(m.writebacks as f64 / (mem_runs as f64).max(1.0)),
+                )
+            }
+        };
         let outcome = if let Some(msg) = first_panic {
             CellOutcome::Panicked(msg)
         } else if budget_trips > 0 {
@@ -479,6 +518,9 @@ impl CellAccumulator {
             window_jain,
             window_shares,
             pwcet,
+            mem_miss_rate,
+            mem_coherence_frac,
+            mem_writebacks,
         }
     }
 }
@@ -930,6 +972,15 @@ impl ScenarioReport {
                         }
                     }
                 }
+                if let Some(m) = c.mem_miss_rate {
+                    pairs.push(("mem_miss_rate".into(), Json::Num(m)));
+                }
+                if let Some(m) = c.mem_coherence_frac {
+                    pairs.push(("mem_coherence_frac".into(), Json::Num(m)));
+                }
+                if let Some(m) = c.mem_writebacks {
+                    pairs.push(("mem_writebacks".into(), Json::Num(m)));
+                }
                 Json::Obj(pairs)
             })
             .collect();
@@ -1016,6 +1067,14 @@ impl ScenarioReport {
                 .map(String::from),
             );
         }
+        // Gated on any cell carrying memory stats, so baseline campaigns
+        // keep their exact pre-memory column set.
+        let mem = self.cells.iter().any(|c| c.mem_miss_rate.is_some());
+        if mem {
+            header.extend(
+                ["mem_miss_rate", "mem_coherence_frac", "mem_writebacks"].map(String::from),
+            );
+        }
         out.push_str(&header.join(","));
         out.push('\n');
         for c in &self.cells {
@@ -1073,6 +1132,11 @@ impl ScenarioReport {
                         row.push(csv_field(diag.unwrap_or_default()));
                     }
                 }
+            }
+            if mem {
+                row.push(c.mem_miss_rate.map(fmt_number).unwrap_or_default());
+                row.push(c.mem_coherence_frac.map(fmt_number).unwrap_or_default());
+                row.push(c.mem_writebacks.map(fmt_number).unwrap_or_default());
             }
             out.push_str(&row.join(","));
             out.push('\n');
@@ -1138,6 +1202,9 @@ impl ScenarioReport {
                         }
                     }
                 }
+            }
+            if let (Some(miss), Some(coh)) = (c.mem_miss_rate, c.mem_coherence_frac) {
+                let _ = write!(out, "  miss {miss:.3} coh {coh:.3}");
             }
             if c.unfinished > 0 {
                 let _ = write!(out, "  [{} unfinished]", c.unfinished);

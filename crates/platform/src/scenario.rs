@@ -54,7 +54,7 @@ use crate::config::{FabricTopology, PlatformConfig};
 use crate::platform::{CoreLoad, DriveMode, RunSpec, Scenario, StopCondition};
 use cba::CreditConfig;
 use cba_bus::PolicyKind;
-use cba_mem::{HierarchyConfig, LatencyModel};
+use cba_mem::{HierarchyConfig, LatencyModel, MemoryConfig};
 use cba_workloads::{profile_by_name, EembcProfile};
 use std::fmt;
 
@@ -232,6 +232,9 @@ pub struct Template {
     /// Hierarchical-fabric topology (`[topology]` section); `None` = the
     /// flat shared bus. With a topology, `cores` is derived from it.
     pub topology: Option<TopologyTemplate>,
+    /// Miss-stream configuration (`[memory]` section) for the `mem` /
+    /// `shared` agent kinds; `None` = no memory agents allowed.
+    pub memory: Option<MemoryConfig>,
 }
 
 impl Default for Template {
@@ -251,6 +254,7 @@ impl Default for Template {
             max_cycles: 50_000_000,
             trace: false,
             topology: None,
+            memory: None,
         }
     }
 }
@@ -417,6 +421,10 @@ pub const SWEEP_KEYS: &[&str] = &[
     "bridge_depth",
     "cluster_cba",
     "backbone_cba",
+    "mem_working_set",
+    "share_frac",
+    "write_frac",
+    "l1_sets",
     "accesses",
     "working_set",
     "p_random",
@@ -479,12 +487,16 @@ impl ScenarioDef {
                         def.template.topology.get_or_insert_with(Default::default);
                         section = name;
                     }
+                    "memory" => {
+                        def.template.memory.get_or_insert_with(Default::default);
+                        section = name;
+                    }
                     other => {
                         return Err(ScenarioError::at(
                             lineno,
                             format!(
                                 "unknown section '[{other}]' (expected [campaign], [platform], \
-                                 [topology], [tua], [contenders], [sweep], [report] or \
+                                 [topology], [memory], [tua], [contenders], [sweep], [report] or \
                                  [checkpoint])"
                             ),
                         ))
@@ -513,6 +525,7 @@ impl ScenarioDef {
                 "campaign" => def.parse_campaign_key(&key, value, lineno)?,
                 "platform" => def.parse_platform_key(&key, value, lineno)?,
                 "topology" => def.parse_topology_key(&key, value, lineno)?,
+                "memory" => def.parse_memory_key(&key, value, lineno)?,
                 "tua" => def.parse_tua_key(&key, value, lineno)?,
                 "contenders" => def.parse_contenders_key(&key, value, lineno)?,
                 "sweep" => def.parse_sweep_key(&key, value, lineno)?,
@@ -650,6 +663,78 @@ impl ScenarioDef {
                          cores_per_cluster, bridge_latency, bridge_depth, cluster_policy, \
                          cluster_cba, cluster_caps, backbone_policy, backbone_cba, \
                          backbone_caps)"
+                    ),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_memory_key(
+        &mut self,
+        key: &str,
+        value: &str,
+        lineno: usize,
+    ) -> Result<(), ScenarioError> {
+        let mem = self
+            .template
+            .memory
+            .as_mut()
+            .expect("[memory] section initializes the template");
+        let frac = |value: &str, what: &str| -> Result<f64, ScenarioError> {
+            let f: f64 = value.parse().map_err(|_| {
+                ScenarioError::at(lineno, format!("bad fraction '{value}' for '{what}'"))
+            })?;
+            if !(0.0..=1.0).contains(&f) {
+                return Err(ScenarioError::at(
+                    lineno,
+                    format!("{what} must be within [0, 1], got {f}"),
+                ));
+            }
+            Ok(f)
+        };
+        match key {
+            "working_set" => {
+                mem.working_set = parse_num(value, "working_set", lineno)?;
+                if mem.working_set < cba_mem::coherence::SHARED_LINE_BYTES {
+                    return Err(ScenarioError::at(
+                        lineno,
+                        format!(
+                            "working_set must be at least one {}-byte line",
+                            cba_mem::coherence::SHARED_LINE_BYTES
+                        ),
+                    ));
+                }
+            }
+            "accesses" => {
+                mem.accesses = parse_num(value, "accesses", lineno)?;
+                if mem.accesses == 0 {
+                    return Err(ScenarioError::at(lineno, "accesses must be positive"));
+                }
+            }
+            "write_frac" => mem.write_frac = frac(value, "write_frac")?,
+            "share_frac" => mem.share_frac = frac(value, "share_frac")?,
+            "locality" => mem.locality = frac(value, "locality")?,
+            "shared_lines" => {
+                mem.shared_lines = parse_num(value, "shared_lines", lineno)?;
+                if mem.shared_lines == 0 {
+                    return Err(ScenarioError::at(lineno, "shared_lines must be positive"));
+                }
+            }
+            "think" => mem.think = parse_num(value, "think", lineno)?,
+            "l1_sets" => {
+                mem.l1_sets = parse_num(value, "l1_sets", lineno)?;
+            }
+            "l1_ways" => {
+                mem.l1_ways = parse_num(value, "l1_ways", lineno)?;
+            }
+            other => {
+                return Err(ScenarioError::at(
+                    lineno,
+                    format!(
+                        "unknown [memory] key '{other}' (expected working_set, accesses, \
+                         write_frac, share_frac, shared_lines, locality, think, l1_sets, \
+                         l1_ways)"
                     ),
                 ))
             }
@@ -968,6 +1053,21 @@ impl ScenarioDef {
             if let Some(c) = &topo.backbone_caps {
                 let _ = writeln!(out, "backbone_caps = {c}");
             }
+        }
+        // Emitted only when configured, so scenarios predating the
+        // [memory] section keep byte-identical canonical renders (and
+        // stable scenario hashes).
+        if let Some(mem) = &t.memory {
+            let _ = writeln!(out, "\n[memory]");
+            let _ = writeln!(out, "working_set = {}", mem.working_set);
+            let _ = writeln!(out, "accesses = {}", mem.accesses);
+            let _ = writeln!(out, "write_frac = {}", mem.write_frac);
+            let _ = writeln!(out, "share_frac = {}", mem.share_frac);
+            let _ = writeln!(out, "shared_lines = {}", mem.shared_lines);
+            let _ = writeln!(out, "locality = {}", mem.locality);
+            let _ = writeln!(out, "think = {}", mem.think);
+            let _ = writeln!(out, "l1_sets = {}", mem.l1_sets);
+            let _ = writeln!(out, "l1_ways = {}", mem.l1_ways);
         }
         let _ = writeln!(out, "\n[tua]");
         match &t.tua {
@@ -1474,6 +1574,24 @@ fn apply_axis(t: &mut Template, key: &str, value: &AxisValue) -> Result<String, 
             }
             Ok(v.to_string())
         }
+        "mem_working_set" | "share_frac" | "write_frac" | "l1_sets" => {
+            let mem = t.memory.as_mut().ok_or_else(|| {
+                format!("axis '{key}' requires a [memory] section in the scenario")
+            })?;
+            let bad = |what: &str| format!("bad {what} '{v}' for memory axis '{key}'");
+            match key {
+                "mem_working_set" => {
+                    mem.working_set = v.parse().map_err(|_| bad("size"))?;
+                }
+                "share_frac" => mem.share_frac = v.parse().map_err(|_| bad("fraction"))?,
+                "write_frac" => mem.write_frac = v.parse().map_err(|_| bad("fraction"))?,
+                "l1_sets" => mem.l1_sets = v.parse().map_err(|_| bad("count"))?,
+                _ => unreachable!("matched above"),
+            }
+            // Domain errors surface with the cell label via
+            // MemoryConfig::validate in Template::build.
+            Ok(v.to_string())
+        }
         knob if PROFILE_KNOBS.contains(&knob) => {
             match &mut t.tua {
                 TuaSpec::Profile { overrides, .. } => {
@@ -1638,6 +1756,9 @@ impl Template {
         if let Some(caps) = &self.caps {
             cba = Some(apply_caps(cba, caps, "caps")?);
         }
+        if let Some(mem) = &self.memory {
+            mem.validate().map_err(|e| e.to_string())?;
+        }
         let platform = PlatformConfig {
             n_cores: n,
             latency,
@@ -1647,6 +1768,7 @@ impl Template {
             store_buffer: cba_cpu::core::DEFAULT_STORE_BUFFER,
             lfsr_randbank: self.lfsr,
             topology,
+            memory: self.memory.clone(),
         };
         let tua = self.tua.build()?;
         let scenario = match &self.contenders {
@@ -2002,6 +2124,85 @@ percentiles = 50,95,99.9
         assert_eq!(def, reparsed, "canonical render must round-trip");
         // And a second render is a fixed point.
         assert_eq!(rendered, reparsed.render());
+    }
+
+    #[test]
+    fn memory_section_round_trips_and_sweeps() {
+        let text = "\
+[campaign]
+name = mem
+runs = 2
+[platform]
+cores = 4
+[memory]
+working_set = 2048
+accesses = 300
+write_frac = 0.4
+share_frac = 0.5
+shared_lines = 32
+locality = 0.7
+think = 2
+l1_sets = 16
+l1_ways = 2
+[tua]
+load = agent:shared
+[contenders]
+fill = agent:mem
+[sweep]
+mem_working_set = 512,2048
+share_frac = 0.1,0.9
+[report]
+percentiles = 50,95
+";
+        let def = ScenarioDef::parse(text).unwrap();
+        let mem = def.template.memory.as_ref().expect("[memory] parsed");
+        assert_eq!(mem.working_set, 2048);
+        assert_eq!(mem.l1_sets, 16);
+        let rendered = def.render();
+        let reparsed = ScenarioDef::parse(&rendered)
+            .unwrap_or_else(|e| panic!("render must re-parse: {e}\n{rendered}"));
+        assert_eq!(def, reparsed, "canonical render must round-trip");
+        assert_eq!(rendered, reparsed.render());
+
+        let cells = def.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        let m = |c: &super::Cell| c.spec.platform.memory.clone().unwrap();
+        assert_eq!(m(&cells[0]).working_set, 512);
+        assert_eq!(m(&cells[0]).share_frac, 0.1);
+        assert_eq!(m(&cells[3]).working_set, 2048);
+        assert_eq!(m(&cells[3]).share_frac, 0.9);
+    }
+
+    #[test]
+    fn memory_axes_require_a_memory_section() {
+        let text = "\
+[campaign]
+runs = 1
+[tua]
+load = fixed:10:6:4
+[sweep]
+share_frac = 0.1,0.5
+";
+        let err = ScenarioDef::parse(text).unwrap().expand().unwrap_err();
+        assert!(err.msg.contains("requires a [memory] section"), "{err}");
+    }
+
+    #[test]
+    fn swept_memory_values_hit_domain_validation() {
+        // The axis parser accepts any f64; MemoryConfig::validate catches
+        // out-of-domain values at cell-build time with the cell named.
+        let text = "\
+[campaign]
+runs = 1
+[memory]
+working_set = 1024
+[tua]
+load = agent:mem
+[sweep]
+share_frac = 0.5,1.5
+";
+        let err = ScenarioDef::parse(text).unwrap().expand().unwrap_err();
+        assert!(err.msg.contains("share_frac"), "{err}");
     }
 
     #[test]

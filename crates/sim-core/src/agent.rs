@@ -56,6 +56,43 @@ pub struct AgentStats {
     pub store_stall_cycles: u64,
     /// Completion cycle, once the agent finished.
     pub done_at: Option<Cycle>,
+    /// Memory-side counters, for agents that drive a cache hierarchy
+    /// (miss-stream / coherence agents). `None` for every other kind, so
+    /// harnesses can gate memory report columns on their presence.
+    pub mem: Option<MemStats>,
+}
+
+/// Memory-side counters for agents whose bus traffic comes from a cache
+/// hierarchy: the raw integer tallies a report layer needs to derive
+/// miss rates and coherence-traffic fractions exactly (sums of `u64`s,
+/// so campaign aggregation stays bit-deterministic across thread
+/// counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Memory accesses executed (loads + stores, private and shared).
+    pub accesses: u64,
+    /// Accesses that required at least one bus transaction.
+    pub misses: u64,
+    /// Bus transactions posted (demand + coherence + writebacks).
+    pub bus_txns: u64,
+    /// Coherence transactions among `bus_txns` (read-exclusives,
+    /// upgrades, invalidation acks, coherence writebacks).
+    pub coherence: u64,
+    /// Writebacks of modified data (dirty-victim evictions plus
+    /// coherence-forced flushes).
+    pub writebacks: u64,
+}
+
+impl MemStats {
+    /// Accumulates another snapshot into this one (per-field sum), for
+    /// summing per-agent counters into a per-run total.
+    pub fn accumulate(&mut self, other: MemStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.bus_txns += other.bus_txns;
+        self.coherence += other.coherence;
+        self.writebacks += other.writebacks;
+    }
 }
 
 /// One traffic-generating client of the simulated interconnect.

@@ -58,6 +58,10 @@ impl RequestPort for SpyPort {
 
 /// Every shipped agent kind, as the load that builds it.
 fn shipped_loads() -> Vec<CoreLoad> {
+    let agent = |kind: &str| CoreLoad::Custom {
+        kind: kind.into(),
+        args: Vec::new(),
+    };
     vec![
         CoreLoad::named("rspeed"),
         CoreLoad::Streaming { accesses: 60 },
@@ -73,11 +77,28 @@ fn shipped_loads() -> Vec<CoreLoad> {
             gap: 4,
         },
         CoreLoad::Idle,
+        agent("mem"),
+        agent("shared"),
     ]
 }
 
+/// A small synthetic-stream config so the memory agents finish inside
+/// the conformance horizons.
+fn memory_config() -> cba_mem::MemoryConfig {
+    cba_mem::MemoryConfig {
+        working_set: 1024,
+        accesses: 120,
+        think: 3,
+        l1_sets: 16,
+        l1_ways: 2,
+        share_frac: 0.4,
+        ..Default::default()
+    }
+}
+
 fn build(load: &CoreLoad, seed: u64) -> BoxedPortAgent {
-    let platform = PlatformConfig::paper(&BusSetup::Rp);
+    let mut platform = PlatformConfig::paper(&BusSetup::Rp);
+    platform.memory = Some(memory_config());
     let mut rng = SimRng::seed_from(seed).fork(0xC0);
     default_registry()
         .build(load, CoreId::from_index(0), &platform, &mut rng)

@@ -168,6 +168,58 @@ wcet = off
     assert!(a.max_burst.iter().any(|m| m.is_some()));
 }
 
+/// Memory miss-stream agents, private (`agent:mem`) and MESI-coherent
+/// (`agent:shared`), across the policy × filter grid: cache hierarchies,
+/// coherence transaction chains and the agents' post-retry loops must
+/// replay bit for bit under the fast path, including the new per-run
+/// memory statistics.
+#[test]
+fn mem_agent_runs_are_bit_identical() {
+    let text = "\
+[campaign]
+name = identity-mem
+runs = 1
+[memory]
+working_set = 2048
+accesses = 250
+write_frac = 0.35
+share_frac = 0.4
+shared_lines = 32
+locality = 0.8
+think = 3
+l1_sets = 16
+l1_ways = 2
+[tua]
+load = fixed:80:6:4
+[contenders]
+loads = agent:shared,agent:mem,agent:shared
+wcet = off
+[sweep]
+policy = rp,rr,tdma,lot,fifo,pri
+cba = none,homog
+";
+    let def = ScenarioDef::parse(text).expect("mem grid parses");
+    let cells = def.expand().expect("mem grid expands");
+    assert_eq!(cells.len(), 12);
+    for cell in &cells {
+        for seed in [1u64, 77] {
+            let (a, b) = both_engines(&cell.spec, seed);
+            assert_eq!(a, b, "mem divergence in cell {:?} seed {seed}", cell.labels);
+            assert!(a.finished, "cell {:?} must finish", cell.labels);
+            let mem = a.mem.expect("memory agents must report stats");
+            assert!(mem.accesses > 0 && mem.bus_txns > 0);
+        }
+    }
+    // Horizon-stopped recording run over the same mix: the trace-derived
+    // metrics and the absorb_skipped stall accounting must agree too.
+    let mut spec = cells[0].spec.clone();
+    spec.stop = cba_platform::StopCondition::Horizon(20_000);
+    spec.record_trace = true;
+    let (a, b) = both_engines(&spec, 9);
+    assert_eq!(a, b, "mem horizon/trace divergence");
+    assert_eq!(a.total_cycles, 20_000);
+}
+
 /// Horizon-stopped fairness runs with recording traces and periodic +
 /// saturating co-runners: the trace-derived burst/starvation metrics must
 /// match too.

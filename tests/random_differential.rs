@@ -30,6 +30,7 @@ use sim_core::rng::SimRng;
 /// split them between flat and fabric platforms).
 const FLAT_CELLS: usize = 160;
 const FABRIC_CELLS: usize = 48;
+const MEM_CELLS: usize = 48;
 
 const SHARE_TOLERANCE_ABS: f64 = 0.02;
 const COMPLETION_TOLERANCE_REL: f64 = 0.05;
@@ -220,6 +221,108 @@ fn randomized_fabric_cells_agree_across_engines() {
             seed,
             &format!("CBA_DIFF_SEED={master} fabric cell {cell} (run seed {seed})"),
         );
+    }
+}
+
+/// A random synthetic-address-stream configuration for the memory agents.
+fn gen_memory_config(rng: &mut SimRng) -> cba_mem::MemoryConfig {
+    cba_mem::MemoryConfig {
+        working_set: *rng.choose(&[256u64, 1024, 8192, 65536]),
+        accesses: rng.gen_range_u64(50..250),
+        write_frac: rng.gen_f64() * 0.9,
+        share_frac: rng.gen_f64() * 0.9,
+        shared_lines: *rng.choose(&[8usize, 32, 128]),
+        locality: rng.gen_f64(),
+        think: rng.gen_range_u64(0..8) as u32,
+        l1_sets: *rng.choose(&[8usize, 32, 64]),
+        l1_ways: *rng.choose(&[1usize, 2, 4]),
+    }
+}
+
+/// A random flat-bus spec whose co-runners mix memory agents (private
+/// and MESI-coherent) with the synthetic loads above.
+fn gen_mem_spec(rng: &mut SimRng) -> RunSpec {
+    let n = *rng.choose(&[2usize, 4, 6]);
+    let mut platform = PlatformConfig::paper_n_cores(&BusSetup::Rp, n);
+    let maxl = platform.latency.max_latency();
+    platform.policy = *rng.choose(&PolicyKind::ALL);
+    platform.cba = gen_cba(rng, n, maxl);
+    platform.lfsr_randbank = rng.gen_bool(0.5);
+    platform.memory = Some(gen_memory_config(rng));
+
+    let agent = |kind: &str| CoreLoad::Custom {
+        kind: kind.into(),
+        args: Vec::new(),
+    };
+    let tua = gen_tua(rng, maxl);
+    let rest: Vec<CoreLoad> = (1..n)
+        .map(|_| match rng.gen_range_usize(0..4) {
+            0 => agent("mem"),
+            1 | 2 => agent("shared"),
+            _ => gen_corunner(rng, maxl),
+        })
+        .collect();
+    let mut spec = RunSpec::with_platform(platform, Scenario::Custom(rest), tua);
+    spec.record_trace = rng.gen_bool(0.2);
+    if rng.gen_bool(0.25) {
+        spec.stop = StopCondition::Horizon(rng.gen_range_u64(2_000..20_000));
+    }
+    spec.max_cycles = 2_000_000;
+    spec
+}
+
+/// Memory-agent cells through all three engines: MESI coherence chains,
+/// per-core cache hierarchies and the agents' retry loops must agree
+/// bit-for-bit between naive and events and sit inside the fluid envelope.
+#[test]
+fn randomized_mem_cells_agree_across_engines() {
+    let master = master_seed();
+    for cell in 0..MEM_CELLS {
+        let mut rng = SimRng::seed_from(master).fork(0x3E3_0000 + cell as u64);
+        let spec = gen_mem_spec(&mut rng);
+        spec.validate()
+            .unwrap_or_else(|e| panic!("generator produced invalid spec: {e}"));
+        let seed = run_seed(master, cell);
+        check_cell(
+            &spec,
+            seed,
+            &format!("CBA_DIFF_SEED={master} mem cell {cell} (run seed {seed})"),
+        );
+    }
+}
+
+/// Randomized MESI soak: seeded read/write streams from every core hammer
+/// one coherence hub, and the protocol invariants (at most one Modified
+/// copy, Modified/Exclusive exclusivity, version monotonicity) hold after
+/// every single operation. Failures name the master seed and step.
+#[test]
+fn randomized_mesi_streams_hold_invariants() {
+    let master = master_seed();
+    for round in 0..8u64 {
+        let mut rng = SimRng::seed_from(master).fork(0x3E51_0000 + round);
+        let n_cores = *rng.choose(&[2usize, 3, 4, 8]);
+        let n_lines = *rng.choose(&[1usize, 4, 16]);
+        let hub = cba_mem::shared_hub(n_cores, n_lines);
+        let lat = PlatformConfig::paper_n_cores(&BusSetup::Rp, 4).latency;
+        for step in 0..2_000u64 {
+            let core = sim_core::CoreId::from_index(rng.gen_range_usize(0..n_cores));
+            let line = rng.gen_range_usize(0..n_lines);
+            let txns = if rng.gen_bool(0.4) {
+                hub.borrow_mut().write(core, line, &lat)
+            } else {
+                hub.borrow_mut().read(core, line, &lat)
+            };
+            for t in &txns {
+                assert!(
+                    t.duration > 0 && t.duration <= lat.max_latency(),
+                    "CBA_DIFF_SEED={master} round {round} step {step}: \
+                     transaction {t:?} duration out of the arbiter's range"
+                );
+            }
+            hub.borrow().check_invariants().unwrap_or_else(|e| {
+                panic!("CBA_DIFF_SEED={master} round {round} step {step}: {e}")
+            });
+        }
     }
 }
 

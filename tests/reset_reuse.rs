@@ -150,7 +150,15 @@ fn agent_reset_reuse_through_the_simulation_facade() {
     use sim_core::rng::SimRng;
     use sim_core::{BoxedAgent, Engine, Simulation, StopWhen};
 
-    let platform = PlatformConfig::paper(&BusSetup::Rp);
+    let mut platform = PlatformConfig::paper(&BusSetup::Rp);
+    platform.memory = Some(cba_mem::MemoryConfig {
+        working_set: 1024,
+        accesses: 150,
+        think: 2,
+        l1_sets: 16,
+        l1_ways: 2,
+        ..Default::default()
+    });
     let loads = [
         CoreLoad::FixedTask {
             n_requests: 50,
@@ -162,8 +170,14 @@ fn agent_reset_reuse_through_the_simulation_facade() {
             period: 90,
             phase: 3,
         },
-        CoreLoad::Saturating { duration: 56 },
-        CoreLoad::Idle,
+        CoreLoad::Custom {
+            kind: "shared".into(),
+            args: Vec::new(),
+        },
+        CoreLoad::Custom {
+            kind: "mem".into(),
+            args: Vec::new(),
+        },
     ];
     let build_agents = || -> Vec<BoxedAgent<Bus>> {
         loads

@@ -106,6 +106,33 @@ const CASES: &[(&str, &str)] = &[
         "zero_run_budget_cycles",
         "[campaign]\nname = x\n[checkpoint]\nrun_budget_cycles = 0\n",
     ),
+    // -- bad [memory] sections ----------------------------------------------
+    (
+        "unknown_memory_key",
+        "[campaign]\nname = x\n[memory]\nline_bytes = 32\n",
+    ),
+    (
+        "zero_working_set",
+        "[campaign]\nname = x\n[memory]\nworking_set = 0\n",
+    ),
+    (
+        "share_frac_out_of_range",
+        "[campaign]\nname = x\n[memory]\nshare_frac = 1.5\n",
+    ),
+    (
+        "memory_axis_without_memory_section",
+        "[campaign]\nname = x\n[tua]\nload = fixed:10:6:4\n[sweep]\nmem_working_set = 512,4096\n",
+    ),
+    (
+        "mem_agent_without_memory_section",
+        "[campaign]\nname = x\n[tua]\nload = agent:mem\n[contenders]\nstop = horizon:1000\n",
+    ),
+    (
+        "shared_agent_on_fabric_topology",
+        "[campaign]\nname = x\n[memory]\nworking_set = 1024\n\
+         [topology]\nclusters = 2\ncores_per_cluster = 2\n\
+         [tua]\nload = agent:shared\n[contenders]\nstop = horizon:1000\n",
+    ),
     // -- assorted out-of-range scalars --------------------------------------
     ("zero_runs", "[campaign]\nname = x\nruns = 0\n"),
     (
@@ -186,6 +213,7 @@ fn parse_errors_carry_line_numbers() {
 fn control_scenario_with_every_section_parses() {
     let text = "[campaign]\nname = ok\nruns = 2\nseed = 7\n\
                 [platform]\ncores = 4\npolicy = rr\ncba = homog\nengine = fluid\n\
+                [memory]\nworking_set = 1024\nshare_frac = 0.5\n\
                 [tua]\nload = fixed:20:6:4\n\
                 [contenders]\nscenario = con\nstop = tua\n\
                 [sweep]\npolicy = rr,fifo\n\

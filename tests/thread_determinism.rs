@@ -47,6 +47,12 @@ fn assert_cells_identical(a: &CellReport, b: &CellReport, what: &str) {
     assert_eq!(a.normalized_ci95, b.normalized_ci95, "{what}");
     assert_eq!(a.cluster_shares, b.cluster_shares, "{what}: shares");
     assert_eq!(a.cluster_fairness, b.cluster_fairness, "{what}");
+    assert_eq!(a.mem_miss_rate, b.mem_miss_rate, "{what}: mem_miss_rate");
+    assert_eq!(
+        a.mem_coherence_frac, b.mem_coherence_frac,
+        "{what}: mem_coherence_frac"
+    );
+    assert_eq!(a.mem_writebacks, b.mem_writebacks, "{what}: mem_writebacks");
 }
 
 #[test]
@@ -94,6 +100,48 @@ bridge_latency = 1,4
     for threads in [2usize, 8] {
         for (a, b) in reference.iter().zip(&run(threads)) {
             assert_cells_identical(a, b, &format!("fabric threads={threads}"));
+        }
+    }
+}
+
+/// Memory-agent grids: the new memory columns are ratios of exact `u64`
+/// sums reduced in run-index order, so MESI traffic and miss statistics
+/// may not leak the pool size either.
+#[test]
+fn mem_agent_grid_reports_are_bit_identical_across_thread_counts() {
+    let text = "\
+[campaign]
+name = mem-threads
+runs = 5
+seed = 23
+[memory]
+working_set = 1024
+accesses = 200
+share_frac = 0.5
+l1_sets = 16
+l1_ways = 2
+[tua]
+load = fixed:40:6:4
+[contenders]
+fill = agent:shared
+wcet = off
+[sweep]
+setup = rr,cba
+share_frac = 0.1,0.7
+";
+    let run = |threads: usize| {
+        let mut def = ScenarioDef::parse(text).expect("parses");
+        def.threads = Some(threads);
+        run_scenario(&def).expect("runs").cells
+    };
+    let reference = run(1);
+    assert_eq!(reference.len(), 4);
+    for cell in &reference {
+        assert!(cell.mem_miss_rate.is_some(), "memory columns must be on");
+    }
+    for threads in [2usize, 8] {
+        for (a, b) in reference.iter().zip(&run(threads)) {
+            assert_cells_identical(a, b, &format!("mem threads={threads}"));
         }
     }
 }
